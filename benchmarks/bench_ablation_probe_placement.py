@@ -1,0 +1,16 @@
+"""Ablation (§4.1.2): random vs fixed probe placement under stale probes."""
+
+from repro.experiments.ablations import ablation_probe_placement
+
+
+def test_ablation_probe_placement(reproduce):
+    result = reproduce(ablation_probe_placement)
+    fixed = result.row_where("placement", "fixed")
+    rand = result.row_where("placement", "random")
+    # The file is essentially cold for both (only probe pages resident)...
+    assert fixed["truly_cached_fraction"] < 0.15
+    assert rand["truly_cached_fraction"] < 0.15
+    # ...yet fixed placement believes everything is cached, while random
+    # placement mispredicts nothing.
+    assert fixed["predicted_cached"] == fixed["segments"]
+    assert rand["predicted_cached"] == 0

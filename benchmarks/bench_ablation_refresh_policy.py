@@ -1,0 +1,18 @@
+"""Ablation (§4.2.5): how often to refresh an aging directory."""
+
+from repro.experiments.ablations import ablation_refresh_policy
+
+
+def test_ablation_refresh_policy(reproduce):
+    result = reproduce(ablation_refresh_policy)
+    never = result.row_where("policy", "never")
+    periodic = result.row_where("policy", "periodic")
+    degradation = result.row_where("policy", "on-degradation")
+    # Refreshing (either way) beats never refreshing by a wide margin,
+    # even counting the refresh copies themselves.
+    for policy in (periodic, degradation):
+        total = policy["read_s_total"] + policy["refresh_s_total"]
+        assert total < 0.85 * never["read_s_total"]
+        assert policy["refreshes"] > 0
+    # The refresh copies are cheap relative to what they save.
+    assert periodic["refresh_s_total"] < 0.1 * never["read_s_total"]

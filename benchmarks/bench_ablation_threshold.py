@@ -1,0 +1,15 @@
+"""Ablation (§4.1.2): sort-by-probe-time vs a fixed hit/miss threshold."""
+
+from repro.experiments.ablations import ablation_threshold_vs_sort
+
+
+def test_ablation_threshold_vs_sort(reproduce):
+    result = reproduce(ablation_threshold_vs_sort)
+    sort_s = result.row_where("strategy", "sort (no threshold)")["scan_s"]
+    good = result.row_where("strategy", "threshold, calibrated")["scan_s"]
+    bad = result.row_where("strategy", "threshold, miscalibrated")["scan_s"]
+    # Sorting needs no calibration and matches the well-calibrated
+    # threshold; a threshold carried over from different hardware loses
+    # a large part of the benefit.
+    assert sort_s <= good * 1.1
+    assert bad > 1.3 * sort_s

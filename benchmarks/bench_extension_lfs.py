@@ -1,0 +1,21 @@
+"""Extension (§4.2.5): FLDC's knowledge module swapped for LFS.
+
+"Within LFS, the ICL could take advantage of the knowledge that writes
+that occur near one another in time lead to proximity in space."  On the
+log-structured substrate, write-time ordering matches layout where
+i-number ordering fails.
+"""
+
+from repro.experiments.ablations import lfs_ordering_experiment
+
+
+def test_extension_lfs_knowledge_swap(reproduce):
+    result = reproduce(lfs_ordering_experiment)
+    rand = result.row_where("ordering", "random")["read_s"]
+    ino = result.row_where("ordering", "i-number (FFS knowledge)")["read_s"]
+    mtime = result.row_where("ordering", "write-time (LFS knowledge)")["read_s"]
+    # Write-time ordering wins by a large factor on LFS.
+    assert mtime < 0.5 * rand
+    assert mtime < 0.5 * ino
+    # The FFS knowledge module is roughly as bad as random here.
+    assert ino > 0.6 * rand

@@ -1,0 +1,21 @@
+"""Figure 2: single-file scan, linear vs gray-box vs analytic models."""
+
+from repro.experiments.figures import fig2_single_file_scan
+
+
+def test_fig2_single_file_scan(reproduce):
+    result = reproduce(fig2_single_file_scan)
+    cache_mb = 112
+    for row in result.rows:
+        if row["size_mb"] < cache_mb:
+            # Below the cache size both scans run at memory speed.
+            assert row["linear_s"] < 0.5
+            assert abs(row["linear_s"] - row["gray_s"]) < 0.1
+        else:
+            # Past it, the linear scan degrades to the worst-case model...
+            assert row["linear_s"] > 0.8 * row["model_worst_s"]
+            # ...while the gray-box scan stays well below it, tracking
+            # the ideal model within a modest margin (widest right at the
+            # cache-size boundary, as in the paper's figure).
+            assert row["gray_s"] < 0.65 * row["linear_s"]
+            assert row["gray_s"] < row["model_ideal_s"] + 0.45 * row["model_worst_s"]

@@ -1,0 +1,17 @@
+"""Figure 3: grep and fastsort in unmodified / gb- / gbp- flavours."""
+
+from repro.experiments.figures import fig3_applications
+
+
+def test_fig3_applications(reproduce):
+    result = reproduce(fig3_applications)
+    by = {(r["app"], r["variant"]): r["normalized"] for r in result.rows}
+    # grep: the gray-box version is a large win (paper: ~3x; the shape
+    # claim is a substantial constant factor), and gbp recovers most of it.
+    assert by[("grep", "gb-grep")] < 0.65
+    assert by[("grep", "gbp-grep")] < 0.70
+    # fastsort: smaller but still substantial win; the pipe-fed variant
+    # pays the extra in-kernel copy, so it sits at or above gb-fastsort.
+    assert by[("fastsort", "gb-fastsort")] < 0.75
+    assert by[("fastsort", "gbp-fastsort")] < 0.85
+    assert by[("fastsort", "gbp-fastsort")] >= by[("fastsort", "gb-fastsort")] - 0.02

@@ -1,0 +1,39 @@
+"""Figure 4: scans and searches across the three OS personalities."""
+
+from repro.experiments.figures import fig4_multi_platform
+
+
+def test_fig4_multi_platform(reproduce):
+    result = reproduce(fig4_multi_platform)
+
+    def row(platform, benchmark):
+        return next(
+            r
+            for r in result.rows
+            if r["platform"] == platform and r["benchmark"] == benchmark
+        )
+
+    # Linux: repeated scans of a >cache file gain nothing without the ICL
+    # (LRU worst case) and a lot with it.
+    linux = row("linux22", "scan")
+    assert linux["warm"] > 0.9
+    assert linux["gray"] < 0.75 * linux["warm"]
+
+    # NetBSD: the best-case file fits its fixed 64 MB buffer cache, so a
+    # warm scan is fast with or without gray-box help.
+    netbsd = row("netbsd15", "scan")
+    assert netbsd["warm"] < 0.2
+    assert abs(netbsd["gray"] - netbsd["warm"]) < 0.1
+
+    # Solaris: the page-holding cache makes even unmodified warm scans
+    # fast — the surprising behaviour §4.1.3 reports.
+    solaris = row("solaris7", "scan")
+    assert solaris["warm"] < 0.7
+    assert abs(solaris["gray"] - solaris["warm"]) < 0.15
+
+    # Search: "even with non-LRU replacement policies, there can be a
+    # benefit" — the gray search wins big on every platform.
+    for platform in ("linux22", "netbsd15", "solaris7"):
+        search = row(platform, "search")
+        assert search["warm"] > 0.9
+        assert search["gray"] < 0.1

@@ -1,0 +1,30 @@
+"""Figure 5: small-file access order (random / by-directory / by-i-number)."""
+
+from repro.experiments.figures import fig5_file_ordering
+
+
+def test_fig5_file_ordering(reproduce):
+    result = reproduce(fig5_file_ordering)
+
+    def times(platform):
+        return {
+            r["order"]: r["time_s_mean"]
+            for r in result.rows
+            if r["platform"] == platform
+        }
+
+    for platform in ("linux22", "netbsd15"):
+        t = times(platform)
+        # Directory sort helps modestly (paper: 10-25%); i-number sort
+        # wins by a large factor (paper: ~6x).
+        assert 0.70 * t["random"] < t["directory"] < 0.95 * t["random"]
+        assert t["random"] / t["inumber"] > 4
+
+    solaris = times("solaris7")
+    linux = times("linux22")
+    # Solaris packs small files less tightly, so its i-number ordering
+    # wins by a clearly smaller factor than Linux's (paper: >2x vs ~6x).
+    solaris_factor = solaris["random"] / solaris["inumber"]
+    linux_factor = linux["random"] / linux["inumber"]
+    assert solaris_factor > 2
+    assert solaris_factor < 0.7 * linux_factor

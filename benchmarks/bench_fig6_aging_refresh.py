@@ -1,0 +1,22 @@
+"""Figure 6: aging epochs degrade i-number ordering; refresh restores it."""
+
+from repro.experiments.figures import fig6_aging_refresh
+
+
+def test_fig6_aging_refresh(reproduce):
+    result = reproduce(fig6_aging_refresh)
+    fresh = result.rows[0]
+    last_aged = [r for r in result.rows if not r["refreshed"]][-1]
+    refreshed = [r for r in result.rows if r["refreshed"]][-1]
+
+    # Fresh directory: i-number order is excellent, random is poor.
+    assert fresh["random_s"] > 3 * fresh["inumber_s"]
+    # Aging degrades the ordering substantially (paper: >3x over 30
+    # epochs) while it stays at or better than random.
+    assert last_aged["inumber_s"] > 2 * fresh["inumber_s"]
+    assert last_aged["inumber_s"] <= last_aged["random_s"] * 1.05
+    # The refresh restores fresh performance.
+    assert refreshed["inumber_s"] < 1.25 * fresh["inumber_s"]
+    # Degradation is roughly monotone in epochs.
+    inumber_series = [r["inumber_s"] for r in result.rows if not r["refreshed"]]
+    assert inumber_series[-1] > inumber_series[0]

@@ -1,0 +1,16 @@
+"""§4.3.3 text claim: MAC reliably returns (830 - x) MB."""
+
+from repro.experiments.figures import mac_available_memory
+
+
+def test_mac_available_memory(reproduce):
+    result = reproduce(mac_available_memory)
+    for row in result.rows:
+        expected = row["expected_mb"]
+        granted = row["granted_mb"]
+        # Tracks (available - x) from below with a small safety margin.
+        assert granted <= expected
+        assert granted >= 0.85 * expected
+    # Strictly decreasing in competitor footprint.
+    grants = [r["granted_mb"] for r in result.rows]
+    assert grants == sorted(grants, reverse=True)

@@ -1,0 +1,16 @@
+"""Table 2: techniques used by FCCD, FLDC, and MAC."""
+
+from repro.experiments.tables import table2_case_studies
+
+
+def test_table2_case_studies(reproduce):
+    result = reproduce(table2_case_studies)
+    assert len(result.rows) == 7
+    # All three case studies insert probes (unlike the prior systems).
+    probes = result.row_where("technique", "Probes")
+    assert all(probes[c] != "None" for c in ("FCCD", "FLDC", "MAC"))
+    # FLDC is the one exercising the known-state control (refresh);
+    # MAC moves each probed chunk to a known state.
+    known = result.row_where("technique", "Known state")
+    assert "refresh" in known["FLDC"].lower()
+    assert known["MAC"] != "None"

@@ -1,0 +1,29 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures by
+running the corresponding driver in :mod:`repro.experiments` once
+(``rounds=1`` — these are reproductions, not micro-timings), prints the
+resulting rows, and asserts the paper's *shape* claims so a regression
+in the simulator or the ICLs fails loudly.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a figure driver exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def reproduce(benchmark):
+    def _reproduce(fn, *args, **kwargs):
+        result = run_once(benchmark, fn, *args, **kwargs)
+        print()
+        print(result.render())
+        return result
+    return _reproduce

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Port the same ICL code across three OS personalities (§4.1.3).
+
+The paper's portability claim: FCCD assumes only that replacement is
+LRU-like, so the identical library runs on Linux 2.2, NetBSD 1.5, and
+Solaris 7 — and in doing so *reveals* each platform's quirks, "much as a
+microbenchmark might also do".  This tour runs one warm-scan experiment
+per personality and prints what the gray-box layer uncovered.
+
+Run:  python examples/platform_tour.py
+"""
+
+import random
+
+from repro import Kernel, MachineConfig, linux22, netbsd15, solaris7
+from repro.apps.scan import gray_scan, linear_scan
+from repro.icl.fccd import FCCD
+from repro.sim import syscalls as sc
+
+MIB = 1024 * 1024
+
+
+def run_platform(platform, file_mb: int) -> None:
+    config = MachineConfig(
+        page_size=64 * 1024,
+        memory_bytes=128 * MIB,
+        kernel_reserved_bytes=16 * MIB,
+    )
+    kernel = Kernel(config, platform=platform)
+
+    def setup():
+        fd = (yield sc.create("/mnt0/data")).value
+        yield sc.write(fd, file_mb * MIB)
+        yield sc.fsync(fd)
+        yield sc.close(fd)
+    kernel.run_process(setup(), "setup")
+    kernel.oracle.flush_file_cache()
+
+    def timed(factory):
+        return kernel.run_process(factory(), "scan").elapsed_ns / 1e9
+
+    cold = timed(lambda: linear_scan("/mnt0/data"))
+    warm = timed(lambda: linear_scan("/mnt0/data"))
+    gray = timed(lambda: gray_scan("/mnt0/data", FCCD(rng=random.Random(1))))
+
+    print(f"\n== {platform.name}: {platform.description}")
+    print(f"   {file_mb} MB file | cold {cold:5.2f}s  warm {warm:5.2f}s  "
+          f"gray {gray:5.2f}s")
+    if warm > 0.9 * cold and gray < 0.8 * warm:
+        print("   finding: LRU worst case on repeat scans; the ICL sidesteps it")
+    elif warm < 0.2 * cold:
+        print("   finding: the file fits this platform's cache; nothing to fix")
+    elif warm < 0.8 * cold and abs(gray - warm) / warm < 0.3:
+        print("   finding: the cache holds a portion persistently — fast "
+              "even unmodified (the paper's Solaris surprise)")
+
+
+def main() -> None:
+    print("one FCCD, three operating systems")
+    # NetBSD's fixed 64 MB buffer cache gets its best-case file size,
+    # exactly as the paper chose 65 MB for its NetBSD runs.
+    run_platform(linux22, file_mb=192)
+    run_platform(netbsd15, file_mb=56)
+    run_platform(solaris7, file_mb=192)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Gray-box Information and Control Layers — a reproduction of
+Arpaci-Dusseau & Arpaci-Dusseau, *Information and Control in Gray-Box
+Systems* (SOSP 2001), over a simulated operating-system substrate.
+
+Quickstart::
+
+    from repro import Kernel, linux22
+    from repro.sim import syscalls as sc
+    from repro.icl import FCCD
+
+    kernel = Kernel(platform=linux22)
+    ...
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-versus-measured record of every figure and table.
+"""
+
+from repro.sim import (
+    Kernel,
+    MachineConfig,
+    Oracle,
+    PLATFORMS,
+    PlatformSpec,
+    linux22,
+    netbsd15,
+    solaris7,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Kernel",
+    "MachineConfig",
+    "Oracle",
+    "PLATFORMS",
+    "PlatformSpec",
+    "linux22",
+    "netbsd15",
+    "solaris7",
+    "__version__",
+]

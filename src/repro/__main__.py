@@ -1,0 +1,86 @@
+"""Command-line entry point: run any reproduced experiment by name.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig2
+    python -m repro fig7 table1 ablation-threshold
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict
+
+from repro.experiments.ablations import (
+    ablation_mac_increment,
+    ablation_probe_placement,
+    ablation_refresh_policy,
+    ablation_threshold_vs_sort,
+    lfs_ordering_experiment,
+)
+from repro.experiments.figures import (
+    fig1_probe_correlation,
+    fig2_single_file_scan,
+    fig3_applications,
+    fig4_multi_platform,
+    fig5_file_ordering,
+    fig6_aging_refresh,
+    fig7_sort_mac,
+    mac_available_memory,
+)
+from repro.experiments.tables import table1_prior_systems, table2_case_studies
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig1": fig1_probe_correlation,
+    "fig2": fig2_single_file_scan,
+    "fig3": fig3_applications,
+    "fig4": fig4_multi_platform,
+    "fig5": fig5_file_ordering,
+    "fig6": fig6_aging_refresh,
+    "fig7": fig7_sort_mac,
+    "mac-available": mac_available_memory,
+    "table1": table1_prior_systems,
+    "table2": table2_case_studies,
+    "ablation-probe-placement": ablation_probe_placement,
+    "ablation-threshold": ablation_threshold_vs_sort,
+    "ablation-mac-increment": ablation_mac_increment,
+    "ablation-refresh-policy": ablation_refresh_policy,
+    "extension-lfs": lfs_ordering_experiment,
+}
+
+
+def main(argv) -> int:
+    names = [a for a in argv[1:] if a != "--plot"]
+    plot = "--plot" in argv[1:]
+    if not names or names == ["list"]:
+        print("available experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        print("  all")
+        print("\nusage: python -m repro <name> [<name> ...]")
+        return 0 if names else 2
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("run `python -m repro list` for the catalogue", file=sys.stderr)
+        return 2
+    for name in names:
+        result = EXPERIMENTS[name]()
+        print(result.render())
+        if plot:
+            from repro.experiments.viz import plot_figure
+
+            chart = plot_figure(result)
+            if chart:
+                print()
+                print(chart)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

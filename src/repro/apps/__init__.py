@@ -1,0 +1,44 @@
+"""Applications used in the paper's evaluation.
+
+Each application exists in the paper's three flavours where relevant:
+
+* **unmodified** — reads files in the order given (or purely
+  sequentially);
+* **gb-** — linked against an ICL and re-ordering internally (the
+  ~10→30-line change the paper describes for grep);
+* **gbp-** — unmodified logic fed by the ``gbp`` utility (command-line
+  substitution or a pipe).
+
+All are generator processes for :class:`repro.sim.Kernel`.
+"""
+
+from repro.apps.scan import ScanReport, gray_scan, linear_scan
+from repro.apps.grep import GrepReport, gb_grep, gbp_grep, grep
+from repro.apps.search import SearchReport, gb_search, search
+from repro.apps.fastsort import (
+    FastsortReport,
+    fastsort_read_phase,
+    fccd_fastsort_read_phase,
+    gb_fastsort_read_phase,
+    merge_runs,
+    stdin_fastsort_read_phase,
+)
+
+__all__ = [
+    "ScanReport",
+    "linear_scan",
+    "gray_scan",
+    "GrepReport",
+    "grep",
+    "gb_grep",
+    "gbp_grep",
+    "SearchReport",
+    "search",
+    "gb_search",
+    "FastsortReport",
+    "fastsort_read_phase",
+    "fccd_fastsort_read_phase",
+    "gb_fastsort_read_phase",
+    "merge_runs",
+    "stdin_fastsort_read_phase",
+]

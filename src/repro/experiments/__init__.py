@@ -1,0 +1,12 @@
+"""Experiment harness: one driver per figure/table of the paper.
+
+Each driver in :mod:`repro.experiments.figures` builds fresh kernels,
+runs the workload, and returns a :class:`repro.experiments.harness.FigureResult`
+whose rows mirror the series the paper plots.  The benchmark suite under
+``benchmarks/`` is a thin wrapper that runs these drivers and prints the
+tables; EXPERIMENTS.md records paper-versus-measured for each.
+"""
+
+from repro.experiments.harness import FigureResult, format_table, mean_std
+
+__all__ = ["FigureResult", "format_table", "mean_std"]

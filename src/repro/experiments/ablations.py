@@ -1,0 +1,421 @@
+"""Ablation studies for the design choices the paper argues for.
+
+Each driver isolates one decision (§4.1.2, §4.2.5, §4.3.2) and measures
+the alternative the paper rejected, so the rationale in the text becomes
+a regression-checked experiment:
+
+* random vs fixed probe placement (stale probes masquerade as hits);
+* sort-by-probe-time vs a fixed hit/miss threshold (mis-calibration);
+* MAC's conservative increment schedule vs fixed and aggressive ones;
+* directory-refresh cadence (never / periodic / on-degradation).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.experiments.figures import scaled_config
+from repro.experiments.harness import FigureResult
+from repro.icl.fccd import FCCD
+from repro.icl.fldc import FLDC
+from repro.icl.mac import MAC
+from repro.sim import Kernel, MachineConfig, syscalls as sc
+from repro.sim.fs.lfs import LogStructuredFS
+from repro.workloads.files import age_directory, create_files, make_file
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+# ======================================================================
+# Probe placement: random (paper) vs fixed offsets
+# ======================================================================
+def ablation_probe_placement(
+    file_mb: int = 64,
+    config: Optional[MachineConfig] = None,
+    seed: int = 97,
+) -> FigureResult:
+    """§4.1.2's failure story, measured.
+
+    A process probes a cold file and exits before accessing it (or two
+    processes probe nearly simultaneously).  A second prober with
+    *fixed* offsets lands exactly on the pages the first probe dragged
+    in and concludes the whole file is cached; random placement is
+    immune.
+    """
+    config = config or scaled_config()
+    result = FigureResult(
+        figure_id="ablation-probe-placement",
+        title="Second prober's verdicts after a stale first probe",
+        columns=[
+            "placement",
+            "segments",
+            "predicted_cached",
+            "truly_cached_fraction",
+        ],
+        scale_note=f"{file_mb} MB cold file; first prober exits before accessing",
+    )
+    for placement in ("fixed", "random"):
+        kernel = Kernel(config)
+        kernel.run_process(make_file("/mnt0/f", file_mb * MIB), "setup")
+        kernel.oracle.flush_file_cache()
+
+        def make_layer(offset_seed):
+            return FCCD(
+                rng=random.Random(offset_seed),
+                access_unit_bytes=8 * MIB,
+                prediction_unit_bytes=2 * MIB,
+                probe_placement=placement,
+            )
+
+        def probe(layer):
+            def app():
+                return (yield from layer.plan_file("/mnt0/f"))
+            return kernel.run_process(app(), "probe")
+
+        probe(make_layer(seed))           # the process that "terminates"
+        plan = probe(make_layer(seed + 1))  # the victim prober
+        predicted = sum(1 for s in plan.segments if s.mean_probe_ns < 1_000_000)
+        result.add(
+            placement=placement,
+            segments=len(plan.segments),
+            predicted_cached=predicted,
+            truly_cached_fraction=kernel.oracle.cached_fraction("/mnt0/f"),
+        )
+    result.notes.append(
+        "fixed offsets report the file cached after a stale probe; random "
+        "offsets stay honest (the paper's rationale for random placement)"
+    )
+    return result
+
+
+# ======================================================================
+# Differentiation: sort-by-probe-time (paper) vs fixed threshold
+# ======================================================================
+def ablation_threshold_vs_sort(
+    file_mb: int = 160,
+    cached_mb: int = 60,
+    config: Optional[MachineConfig] = None,
+    seed: int = 101,
+) -> FigureResult:
+    """Why FCCD sorts instead of thresholding (§4.1.2).
+
+    A threshold needs per-platform calibration; a value carried over
+    from a faster storage stack classifies everything as on-disk and
+    the re-ordering degenerates to sequential order.  Sorting needs no
+    calibration at all.
+    """
+    config = config or scaled_config()
+    result = FigureResult(
+        figure_id="ablation-threshold",
+        title="Scan time by differentiation strategy (seconds)",
+        columns=["strategy", "scan_s", "needs_calibration"],
+        scale_note=f"{file_mb} MB file, {cached_mb} MB tail cached",
+    )
+
+    def build() -> Kernel:
+        kernel = Kernel(config)
+        kernel.run_process(make_file("/mnt0/f", file_mb * MIB), "setup")
+        kernel.oracle.flush_file_cache()
+
+        def warm():
+            fd = (yield sc.open("/mnt0/f")).value
+            yield sc.pread(fd, (file_mb - cached_mb) * MIB, cached_mb * MIB)
+            yield sc.close(fd)
+        kernel.run_process(warm(), "warm")
+        return kernel
+
+    def scan_with(order_key) -> float:
+        kernel = build()
+        layer = FCCD(
+            rng=random.Random(seed), access_unit_bytes=8 * MIB,
+            prediction_unit_bytes=2 * MIB,
+        )
+
+        def app():
+            fd = (yield sc.open("/mnt0/f")).value
+            size = (yield sc.fstat(fd)).value.size
+            segments = yield from layer.probe_fd(fd, size)
+            t0 = (yield sc.gettime()).value
+            for segment in order_key(segments):
+                offset = segment.offset
+                end = segment.offset + segment.length
+                while offset < end:
+                    take = min(MIB, end - offset)
+                    offset += (yield sc.pread(fd, offset, take)).value.nbytes
+            elapsed = (yield sc.gettime()).value - t0
+            yield sc.close(fd)
+            return elapsed
+        return kernel.run_process(app(), "scan") / 1e9
+
+    def sort_order(segments):
+        return sorted(segments, key=lambda s: (s.probe_ns, s.offset))
+
+    def threshold_order(threshold_ns):
+        def order(segments):
+            cached = [s for s in segments if s.mean_probe_ns <= threshold_ns]
+            cold = [s for s in segments if s.mean_probe_ns > threshold_ns]
+            return sorted(cached, key=lambda s: s.offset) + sorted(
+                cold, key=lambda s: s.offset
+            )
+        return order
+
+    rows = [
+        ("sort (no threshold)", sort_order, False),
+        # Calibrated correctly for this machine: between copy and disk.
+        ("threshold, calibrated", threshold_order(500_000), True),
+        # Carried over from a machine with much faster storage: every
+        # probe looks "slow", nothing is predicted cached.
+        ("threshold, miscalibrated", threshold_order(500), True),
+    ]
+    for label, order_key, needs_cal in rows:
+        result.add(
+            strategy=label,
+            scan_s=scan_with(order_key),
+            needs_calibration=needs_cal,
+        )
+    result.notes.append(
+        "sorting matches a correctly calibrated threshold with zero "
+        "configuration; a stale threshold forfeits the entire benefit"
+    )
+    return result
+
+
+# ======================================================================
+# MAC increment schedule
+# ======================================================================
+def ablation_mac_increment(
+    config: Optional[MachineConfig] = None,
+    competitor_mb: int = 40,
+    seed: int = 103,
+) -> FigureResult:
+    """§4.3.2's schedule vs a fixed increment and an aggressive one."""
+    config = config or MachineConfig(
+        page_size=64 * KIB,
+        memory_bytes=160 * MIB,
+        kernel_reserved_bytes=16 * MIB,
+        data_disks=1,
+    )
+    available = config.available_bytes
+    result = FigureResult(
+        figure_id="ablation-mac-increment",
+        title="gb_alloc cost by increment policy",
+        columns=[
+            "policy",
+            "granted_mb",
+            "probe_touches",
+            "alloc_s",
+            "swapped_mb",
+        ],
+        scale_note=(
+            f"{available // MIB} MB available, active competitor holding "
+            f"{competitor_mb} MB"
+        ),
+    )
+    for policy in ("paper", "fixed", "aggressive"):
+        kernel = Kernel(config)
+        ps = config.page_size
+
+        def competitor():
+            region = (yield sc.vm_alloc(competitor_mb * MIB)).value
+            npages = competitor_mb * MIB // ps
+            yield sc.touch_range(region, 0, npages)
+            t0 = (yield sc.gettime()).value
+            while (yield sc.gettime()).value - t0 < 120 * 10**9:
+                yield sc.touch_range(region, 0, npages)
+                yield sc.sleep(30_000_000)
+
+        mac = MAC(
+            page_size=ps,
+            initial_increment_bytes=4 * MIB,
+            max_increment_bytes=32 * MIB,
+            increment_policy=policy,
+            rng=random.Random(seed),
+        )
+
+        def mac_app():
+            yield sc.sleep(400_000_000)
+            t0 = (yield sc.gettime()).value
+            allocation = yield from mac.gb_alloc(4 * MIB, available, MIB)
+            elapsed = (yield sc.gettime()).value - t0
+            granted = 0 if allocation is None else allocation.granted_bytes
+            if allocation is not None:
+                yield from mac.gb_free(allocation)
+            return granted, elapsed
+
+        kernel.spawn(competitor(), "competitor")
+        proc = kernel.spawn(mac_app(), "mac")
+        kernel.run()
+        granted, elapsed = proc.result
+        swapped = kernel.oracle.daemon_stats().anon_pages_swapped
+        result.add(
+            policy=policy,
+            granted_mb=granted / MIB,
+            probe_touches=mac.stats.probe_touches,
+            alloc_s=elapsed / 1e9,
+            swapped_mb=swapped * ps / MIB,
+        )
+    result.notes.append(
+        "all policies find roughly the same available memory; the fixed "
+        "increment pays far more probing (O(n^2) over many small chunks), "
+        "the aggressive one causes more paging on the way up"
+    )
+    return result
+
+
+# ======================================================================
+# Directory refresh cadence
+# ======================================================================
+def ablation_refresh_policy(
+    files: int = 80,
+    epochs: int = 40,
+    period: int = 10,
+    degradation_factor: float = 2.0,
+    config: Optional[MachineConfig] = None,
+    seed: int = 107,
+) -> FigureResult:
+    """How often to refresh (§4.2.5's open question), measured.
+
+    A reader sweeps the directory in i-number order once per epoch while
+    churn ages it.  Policies: never refresh; refresh every ``period``
+    epochs; refresh when the tracked read time exceeds
+    ``degradation_factor`` x the best seen (the paper's 'historical
+    tracking' suggestion).
+    """
+    config = config or scaled_config(page_size=4 * KIB)
+    result = FigureResult(
+        figure_id="ablation-refresh-policy",
+        title="Total reader time over aging epochs, by refresh policy",
+        columns=["policy", "read_s_total", "refreshes", "refresh_s_total"],
+        scale_note=f"{files} files, {epochs} epochs, 5+5 churn per epoch",
+    )
+    for policy in ("never", "periodic", "on-degradation"):
+        kernel = Kernel(config)
+        directory = "/mnt0/d"
+
+        def setup():
+            yield sc.mkdir(directory)
+            yield from create_files(directory, files, 8 * KIB)
+        kernel.run_process(setup(), "setup")
+        rng = random.Random(seed)
+        fldc = FLDC()
+        read_total = 0.0
+        refresh_total = 0.0
+        refreshes = 0
+        best = None
+        for epoch in range(epochs):
+            kernel.run_process(
+                age_directory(directory, 1, rng, create_size=8 * KIB), "age"
+            )
+            kernel.oracle.flush_file_cache()
+
+            def sweep():
+                names = (yield sc.readdir(directory)).value
+                order, _stats = yield from fldc.layout_order(
+                    [f"{directory}/{n}" for n in names]
+                )
+                t0 = (yield sc.gettime()).value
+                for path in order:
+                    fd = (yield sc.open(path)).value
+                    while not (yield sc.read(fd, 64 * KIB)).value.eof:
+                        pass
+                    yield sc.close(fd)
+                return (yield sc.gettime()).value - t0
+            elapsed = kernel.run_process(sweep(), "sweep") / 1e9
+            read_total += elapsed
+            best = elapsed if best is None else min(best, elapsed)
+
+            due = (
+                policy == "periodic" and (epoch + 1) % period == 0
+            ) or (
+                policy == "on-degradation" and elapsed > degradation_factor * best
+            )
+            if due:
+                def refresh():
+                    t0 = (yield sc.gettime()).value
+                    yield from fldc.refresh_directory(directory)
+                    return (yield sc.gettime()).value - t0
+                refresh_total += kernel.run_process(refresh(), "refresh") / 1e9
+                refreshes += 1
+        result.add(
+            policy=policy,
+            read_s_total=read_total,
+            refreshes=refreshes,
+            refresh_s_total=refresh_total,
+        )
+    result.notes.append(
+        "never refreshing pays compounding read degradation; both "
+        "refresh policies recover it for a small copy cost, with "
+        "on-degradation triggering only when needed"
+    )
+    return result
+
+
+# ======================================================================
+# §4.2.5 extension: FLDC's knowledge module on a log-structured FS
+# ======================================================================
+SECOND = 1_000_000_000
+
+
+def lfs_ordering_experiment(files: int = 60, seed: int = 109) -> FigureResult:
+    config = scaled_config(page_size=4 * KIB)
+    kernel = Kernel(config, fs_class=LogStructuredFS)
+    paths = [f"/mnt0/f{i:03d}" for i in range(files)]
+
+    def create_all():
+        for path in paths:
+            yield from make_file(path, 16 * KIB, sync=False)
+    kernel.run_process(create_all(), "create")
+
+    # Rewrite everything in a shuffled order, seconds apart: on LFS the
+    # rewrite order becomes the layout order.
+    rewrite_order = list(paths)
+    random.Random(seed).shuffle(rewrite_order)
+    for path in rewrite_order:
+        kernel.oracle.advance_time(2 * SECOND)
+
+        def rewrite(path=path):
+            fd = (yield sc.open(path)).value
+            yield sc.pwrite(fd, 0, 16 * KIB)
+            yield sc.close(fd)
+        kernel.run_process(rewrite(), "rewrite")
+
+    fldc = FLDC()
+    result = FigureResult(
+        figure_id="extension-lfs",
+        title="FLDC knowledge modules on a log-structured filesystem",
+        columns=["ordering", "read_s"],
+        scale_note=f"{files} files rewritten in random order on LFS",
+    )
+
+    def read_with(order_fn) -> float:
+        def app():
+            order, _stats = yield from order_fn(paths)
+            t0 = (yield sc.gettime()).value
+            for path in order:
+                fd = (yield sc.open(path)).value
+                while not (yield sc.read(fd, 64 * KIB)).value.eof:
+                    pass
+                yield sc.close(fd)
+            return (yield sc.gettime()).value - t0
+        kernel.oracle.flush_file_cache()
+        return kernel.run_process(app(), "read") / 1e9
+
+    def random_gen(paths_in):
+        """Generator-shaped like the FLDC orderings, but shuffles."""
+        shuffled = list(paths_in)
+        random.Random(seed + 1).shuffle(shuffled)
+        return shuffled, None
+        yield  # unreachable; makes this a generator for `yield from`
+
+    result.add(ordering="random", read_s=read_with(random_gen))
+    result.add(ordering="i-number (FFS knowledge)", read_s=read_with(fldc.layout_order))
+    result.add(
+        ordering="write-time (LFS knowledge)", read_s=read_with(fldc.write_time_order)
+    )
+    result.notes.append(
+        "the FFS module's i-number ordering is no better than random on "
+        "LFS; swapping in the write-time module restores the win"
+    )
+    return result

@@ -1,0 +1,149 @@
+"""Terminal plots for reproduced figures.
+
+Pure-text rendering (no plotting dependencies are available offline):
+:func:`line_chart` draws one or more (x, y) series on a character
+canvas, :func:`bar_chart` draws labelled horizontal bars.  Both are used
+by ``python -m repro <fig> --plot`` so the reproduced figures can be
+*seen*, not just read as tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+MARKERS = "ox*+#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, cells: int) -> int:
+    if hi <= lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return min(int(position * (cells - 1) + 0.5), cells - 1)
+
+
+def line_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Plot named series of (x, y) points on one canvas.
+
+    Each series gets a marker from :data:`MARKERS`; the legend maps them
+    back.  Axes are annotated with the data extremes.
+    """
+    if not series or all(not pts for pts in series.values()):
+        raise ValueError("nothing to plot")
+    if width < 8 or height < 4:
+        raise ValueError("canvas too small")
+    points = [p for pts in series.values() for p in pts]
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_lo > 0 and y_lo < y_hi * 0.5:
+        y_lo = 0.0  # anchor ratio-like charts at zero
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        for x, y in pts:
+            col = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(y, y_lo, y_hi, height)
+            grid[row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    y_hi_tag = f"{y_hi:g}"
+    y_lo_tag = f"{y_lo:g}"
+    margin = max(len(y_hi_tag), len(y_lo_tag)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            tag = y_hi_tag.rjust(margin - 1)
+        elif row_index == height - 1:
+            tag = y_lo_tag.rjust(margin - 1)
+        else:
+            tag = " " * (margin - 1)
+        lines.append(f"{tag}|{''.join(row)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    x_axis = f"{x_lo:g}".ljust(width - 8) + f"{x_hi:g}".rjust(8)
+    lines.append(" " * (margin + 1) + x_axis)
+    if x_label or y_label:
+        lines.append(f"   x: {x_label}   y: {y_label}".rstrip())
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"   {legend}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    bars: Sequence[Tuple[str, float]],
+    width: int = 48,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bars with value annotations."""
+    if not bars:
+        raise ValueError("nothing to plot")
+    peak = max(value for _label, value in bars)
+    label_width = max(len(label) for label, _v in bars)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in bars:
+        filled = _scale(value, 0.0, peak, width) + 1 if peak > 0 else 0
+        bar = "█" * filled
+        lines.append(
+            f"{label.rjust(label_width)} |{bar.ljust(width)} {value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Adapters: FigureResult -> chart
+# ----------------------------------------------------------------------
+def plot_figure(result, max_series: int = 6) -> Optional[str]:
+    """Best-effort chart for a FigureResult; None if it has no shape.
+
+    Heuristics: a numeric first column becomes the x axis with one line
+    per remaining numeric column; otherwise categorical rows become a
+    bar chart of the first numeric column.
+    """
+    rows = result.rows
+    if not rows:
+        return None
+    columns = result.columns
+    first = columns[0]
+    numeric_cols = [
+        c
+        for c in columns
+        if all(isinstance(r.get(c), (int, float)) and not isinstance(r.get(c), bool)
+               for r in rows)
+    ]
+    if first in numeric_cols and len(numeric_cols) >= 2:
+        series = {}
+        for column in numeric_cols[1:max_series + 1]:
+            if column == first or column.endswith("_std"):
+                continue
+            series[column] = [(r[first], r[column]) for r in rows]
+        if series:
+            return line_chart(
+                series,
+                title=f"{result.figure_id}: {result.title}",
+                x_label=first,
+            )
+    if numeric_cols:
+        value_col = numeric_cols[0]
+        label_cols = [c for c in columns if c not in numeric_cols]
+        bars = []
+        for row in rows[:24]:
+            label = " ".join(str(row[c]) for c in label_cols) or value_col
+            bars.append((label, float(row[value_col])))
+        return bar_chart(
+            bars, title=f"{result.figure_id}: {result.title} ({value_col})"
+        )
+    return None

@@ -1,0 +1,37 @@
+"""Gray-box Information and Control Layers — the paper's contribution.
+
+Three case-study ICLs plus their composition and the ``gbp`` utility:
+
+* :class:`~repro.icl.fccd.FCCD` — File-Cache Content Detector (§4.1)
+* :class:`~repro.icl.fldc.FLDC` — File Layout Detector and Controller (§4.2)
+* :class:`~repro.icl.mac.MAC`  — Memory-based Admission Controller (§4.3)
+* :mod:`~repro.icl.compose`    — FCCD∘FLDC composition via clustering (§4.2.4)
+* :mod:`~repro.icl.gbp`        — the command-line-tool equivalent for
+  unmodified applications
+
+Every ICL method is a generator sub-routine used with ``yield from``
+inside a simulated process, and observes the OS only through syscalls
+and their elapsed times.
+"""
+
+from repro.icl.base import ICL, TechniqueProfile
+from repro.icl.fccd import FCCD, AccessSegment, FilePlan
+from repro.icl.fldc import FLDC, RefreshReport
+from repro.icl.mac import MAC, GbAllocation
+from repro.icl.compose import ComposedOrdering, compose_order
+from repro.icl import gbp
+
+__all__ = [
+    "ICL",
+    "TechniqueProfile",
+    "FCCD",
+    "AccessSegment",
+    "FilePlan",
+    "FLDC",
+    "RefreshReport",
+    "MAC",
+    "GbAllocation",
+    "ComposedOrdering",
+    "compose_order",
+    "gbp",
+]

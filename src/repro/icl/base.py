@@ -1,0 +1,90 @@
+"""ICL base class and the gray-box technique registry.
+
+Each ICL declares which of the paper's techniques (§2) it uses; the
+registry is what regenerates Table 2 (and, via :mod:`repro.related`,
+Table 1) directly from the implementations instead of from prose.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields
+from typing import Dict, List, Optional
+
+from repro.toolbox.repository import ParameterRepository
+
+
+@dataclass(frozen=True)
+class TechniqueProfile:
+    """How one gray-box system instantiates each technique row.
+
+    Field order matches the rows of Tables 1 and 2: the *knowledge*
+    assumed, the *outputs* observed, the *statistics* applied, the
+    *benchmarks* required, the *probes* inserted, the *known state* the
+    system moves to, and the *feedback* it reinforces.  Use ``"None"``
+    for techniques a system does not use, exactly as the paper's tables
+    do.
+    """
+
+    knowledge: str
+    outputs: str
+    statistics: str
+    benchmarks: str
+    probes: str
+    known_state: str
+    feedback: str
+
+    ROW_TITLES = (
+        "Knowledge",
+        "Outputs",
+        "Statistics",
+        "Benchmarks",
+        "Probes",
+        "Known state",
+        "Feedback",
+    )
+
+    def rows(self) -> List[str]:
+        return [getattr(self, f.name) for f in fields(self)]
+
+
+class ICL:
+    """Base for gray-box Information and Control Layers.
+
+    Holds the pieces every layer shares: the parameter repository
+    (microbenchmark results), a seeded RNG (probe placement must be
+    random but experiments must be repeatable), and the technique
+    profile for the table generators.
+    """
+
+    name: str = "icl"
+    profile: TechniqueProfile = TechniqueProfile(
+        knowledge="(abstract)",
+        outputs="(abstract)",
+        statistics="None",
+        benchmarks="None",
+        probes="None",
+        known_state="None",
+        feedback="None",
+    )
+
+    def __init__(
+        self,
+        repository: Optional[ParameterRepository] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.repository = repository or ParameterRepository()
+        self.rng = rng or random.Random(0x6B0C5)
+
+
+_REGISTRY: Dict[str, type] = {}
+
+
+def register_icl(cls: type) -> type:
+    """Class decorator: record an ICL for the Table 2 generator."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def registered_icls() -> Dict[str, type]:
+    return dict(_REGISTRY)

@@ -1,0 +1,37 @@
+"""Prior gray-box systems surveyed in §3, reimplemented as mini-models.
+
+These three systems pre-date the paper and motivate its framework; each
+module provides a compact simulation demonstrating the technique and a
+:class:`~repro.icl.base.TechniqueProfile` whose rows regenerate Table 1.
+
+They model their own domains (a network path, a two-node cluster, a
+time-shared CPU) rather than the disk/VM kernel — the paper's point is
+precisely that the same techniques recur across domains.
+"""
+
+from repro.related.tcp import TCP_PROFILE, TcpResult, simulate_tcp
+from repro.related.coscheduling import (
+    COSCHED_PROFILE,
+    CoschedResult,
+    simulate_coscheduling,
+)
+from repro.related.manners import MANNERS_PROFILE, MannersResult, simulate_manners
+
+PRIOR_SYSTEMS = {
+    "TCP": TCP_PROFILE,
+    "Implicit Coscheduling": COSCHED_PROFILE,
+    "MS Manners": MANNERS_PROFILE,
+}
+
+__all__ = [
+    "TCP_PROFILE",
+    "TcpResult",
+    "simulate_tcp",
+    "COSCHED_PROFILE",
+    "CoschedResult",
+    "simulate_coscheduling",
+    "MANNERS_PROFILE",
+    "MannersResult",
+    "simulate_manners",
+    "PRIOR_SYSTEMS",
+]

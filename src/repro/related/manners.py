@@ -1,0 +1,143 @@
+"""MS Manners as a gray-box system (§3).
+
+Runs a low-importance job only when the machine is otherwise idle —
+without OS support for idle-priority scheduling.  Gray-box knowledge:
+*"one process competing with another degrades the other's progress
+symmetrically to its own"*.  Observation: the job's own progress rate.
+Statistics: an exponential average of uncontended progress as the
+baseline, linear-regression drift tracking, and a paired-sample sign
+test to decide that progress is *systematically* (not noisily) low.
+
+Model: a CPU shared equally among runnable processes; a high-importance
+foreground workload comes and goes; the Manners-governed job measures
+work completed per window and suspends/resumes itself.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.icl.base import TechniqueProfile
+from repro.toolbox.stats import exponential_average, sign_test
+
+MANNERS_PROFILE = TechniqueProfile(
+    knowledge="Symmetric performance impact",
+    outputs="Reported progress of process",
+    statistics="Linear regression, Exponential avg, Paired-sample sign test",
+    benchmarks="None",
+    probes="None",
+    known_state="None, but slow convergence",
+    feedback="None",
+)
+
+
+@dataclass
+class MannersConfig:
+    """Scenario parameters (time in abstract windows)."""
+
+    windows: int = 300
+    # Foreground activity: busy in [start, end) windows.
+    busy_start: int = 100
+    busy_end: int = 200
+    noise: float = 0.05            # relative measurement noise
+    sample_pairs: int = 5          # sign-test pairs per decision
+    p_threshold: float = 0.20      # suspend when this confident
+    resume_probe_every: int = 10   # probe one window while suspended
+    ewma_alpha: float = 0.2
+
+
+@dataclass
+class MannersResult:
+    """What happened across the run."""
+
+    li_progress: float = 0.0               # total low-importance work done
+    fg_slowdown_windows: int = 0           # windows where FG shared the CPU
+    suspended_windows: int = 0
+    trace: List[str] = field(default_factory=list)  # 'run'|'suspend'|'probe'
+
+    @property
+    def interference_fraction(self) -> float:
+        """Fraction of busy FG windows the LI job intruded on."""
+        busy = sum(1 for s in self.trace if s == "fg-shared" or s == "fg-alone")
+        if busy == 0:
+            return 0.0
+        shared = sum(1 for s in self.trace if s == "fg-shared")
+        return shared / busy
+
+
+def simulate_manners(
+    cfg: Optional[MannersConfig] = None,
+    governed: bool = True,
+    rng: Optional[random.Random] = None,
+) -> MannersResult:
+    """Run the shared-CPU model with or without Manners governing.
+
+    Ungoverned, the low-importance job steals half the CPU from the
+    foreground for the whole busy period; governed, it detects the
+    progress drop within a few windows and suspends, probing
+    occasionally to notice when the machine goes idle again.
+    """
+    cfg = cfg or MannersConfig()
+    rng = rng or random.Random(0x3A8)
+    result = MannersResult()
+    baseline: Optional[float] = None
+    recent: List[float] = []
+    suspended = False
+    windows_suspended = 0
+
+    for window in range(cfg.windows):
+        fg_busy = cfg.busy_start <= window < cfg.busy_end
+
+        if suspended:
+            windows_suspended += 1
+            result.suspended_windows += 1
+            probe = windows_suspended % cfg.resume_probe_every == 0
+            if not probe:
+                result.trace.append("fg-alone" if fg_busy else "idle-suspended")
+                continue
+            result.trace.append("probe")
+
+        # The LI job runs this window (normally or as a probe).
+        share = 0.5 if fg_busy else 1.0
+        progress = share * (1.0 + rng.uniform(-cfg.noise, cfg.noise))
+        result.li_progress += progress
+        if fg_busy:
+            result.trace.append("fg-shared")
+            result.fg_slowdown_windows += 1
+        elif not suspended:
+            result.trace.append("run")
+
+        if not governed:
+            continue
+
+        if baseline is None:
+            baseline = progress
+        if suspended:
+            # Probe verdict from this single window: resume only if the
+            # probe ran at (near) the uncontended baseline.
+            if progress >= 0.8 * baseline:
+                suspended = False
+                windows_suspended = 0
+                recent.clear()
+            continue
+
+        recent.append(progress)
+        if len(recent) > cfg.sample_pairs:
+            recent.pop(0)
+        pairs = [(baseline, p) for p in recent]
+        _pos, _neg, p_value = sign_test(pairs)
+        degraded = (
+            len(recent) >= cfg.sample_pairs
+            and p_value <= cfg.p_threshold
+            and sum(recent) / len(recent) < 0.8 * baseline
+        )
+        if degraded:
+            suspended = True
+            windows_suspended = 0
+            recent.clear()
+        elif sum(recent) / len(recent) >= 0.9 * baseline:
+            # Track slow baseline drift only while uncontended.
+            baseline = exponential_average(recent, cfg.ewma_alpha, baseline)
+    return result

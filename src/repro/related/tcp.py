@@ -1,0 +1,121 @@
+"""TCP congestion control as a gray-box system (§3).
+
+The sender treats the network as a gray box: the algorithmic knowledge
+is *"the network drops packets when there is congestion"*; the observed
+output is whether each window was acknowledged; the control is AIMD on
+the window.  Routers reinforce via drops (RED drops early, before the
+queue overflows).
+
+The paper's cautionary tale is also modelled: on a *wireless* path,
+losses happen without congestion, the gray-box assumption is wrong, and
+throughput collapses — misidentifying gray-box knowledge has costs
+(§3's Balakrishnan reference).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.icl.base import TechniqueProfile
+
+TCP_PROFILE = TechniqueProfile(
+    knowledge="Message dropped if congestion",
+    outputs="Time before ACK arrives",
+    statistics="Mean and variance (RTT estimation)",
+    benchmarks="None",
+    probes="None",
+    known_state="None",
+    feedback="Routers drop msgs as a signal",
+)
+
+
+@dataclass
+class NetworkPath:
+    """A bottleneck link with a router queue and a drop policy."""
+
+    capacity_per_rtt: int = 50          # packets the link serves per RTT
+    queue_limit: int = 25               # router queue beyond the pipe
+    red: bool = False                   # random-early-detection gateway
+    red_min_queue: int = 5
+    wireless_loss_rate: float = 0.0     # non-congestion random loss
+    queued: int = 0                     # router queue occupancy (state)
+
+    def deliver(self, offered: int, rng: random.Random) -> Tuple[int, int]:
+        """One RTT of service; returns (acked, lost).
+
+        Packets surviving the (wireless) medium join the router queue;
+        the link serves up to ``capacity_per_rtt``; tail-drop (or RED
+        early drop) sheds the excess.  ACKs per RTT therefore never
+        exceed link capacity, and sustained over-offering fills the
+        queue until drops signal the sender.
+        """
+        arrived = offered
+        if self.wireless_loss_rate > 0.0:
+            arrived = sum(
+                1 for _ in range(arrived) if rng.random() >= self.wireless_loss_rate
+            )
+        lost = offered - arrived
+        self.queued += arrived
+        acked = min(self.queued, self.capacity_per_rtt)
+        self.queued -= acked
+        if self.red and self.queued > self.red_min_queue:
+            # RED: shed a packet probabilistically as the queue builds,
+            # signalling senders before hard overflow.
+            if rng.random() < self.queued / (2.0 * self.queue_limit):
+                self.queued -= 1
+                lost += 1
+        if self.queued > self.queue_limit:
+            lost += self.queued - self.queue_limit
+            self.queued = self.queue_limit
+        return acked, lost
+
+
+@dataclass
+class TcpResult:
+    """Throughput trace of one simulation."""
+
+    acked_total: int = 0
+    rtts: int = 0
+    drops: int = 0
+    cwnd_trace: List[float] = field(default_factory=list)
+
+    @property
+    def goodput(self) -> float:
+        """Mean packets ACKed per RTT."""
+        if self.rtts == 0:
+            return 0.0
+        return self.acked_total / self.rtts
+
+
+def simulate_tcp(
+    path: NetworkPath,
+    rtts: int = 400,
+    rng: Optional[random.Random] = None,
+    ssthresh: float = 64.0,
+) -> TcpResult:
+    """Slow-start + AIMD sender inferring congestion from losses.
+
+    One simulation step is one RTT: the sender offers ``cwnd`` packets,
+    observes how many are ACKed, and — using only the gray-box rule
+    "loss ⇒ congestion" — halves on any loss, else grows.
+    """
+    rng = rng or random.Random(0x7C9)
+    result = TcpResult()
+    cwnd = 1.0
+    for _ in range(rtts):
+        offered = max(int(cwnd), 1)
+        acked, lost = path.deliver(offered, rng)
+        result.acked_total += acked
+        result.drops += lost
+        result.rtts += 1
+        if lost > 0:
+            ssthresh = max(cwnd / 2.0, 2.0)
+            cwnd = ssthresh  # fast-recovery-style halving
+        elif cwnd < ssthresh:
+            cwnd *= 2.0  # slow start
+        else:
+            cwnd += 1.0  # congestion avoidance
+        result.cwnd_trace.append(cwnd)
+    return result

@@ -1,0 +1,64 @@
+"""Simulated operating-system substrate.
+
+This subpackage provides everything the paper's physical testbed provided:
+a machine (CPU, memory, disks), an operating system (file cache, virtual
+memory, FFS-like filesystems, a process scheduler), and a syscall
+interface whose results carry *simulated elapsed time* — the covert
+channel that the gray-box layer in :mod:`repro.icl` exploits.
+
+The central rule of this reproduction: code in :mod:`repro.icl`,
+:mod:`repro.toolbox`, and :mod:`repro.apps` interacts with the kernel
+*only* through :mod:`repro.sim.syscalls`.  Ground-truth inspection (which
+pages are really cached, where blocks really live) is available through
+:class:`repro.sim.kernel.Oracle` and is used only by tests and by the
+experiment harness to validate inferences.
+"""
+
+from repro.sim.clock import MICROS, MILLIS, NANOS, SECONDS, Clock
+from repro.sim.config import (
+    PLATFORMS,
+    MachineConfig,
+    PlatformSpec,
+    linux22,
+    netbsd15,
+    solaris7,
+)
+from repro.sim.errors import (
+    SimOSError,
+    BadFileDescriptor,
+    FileExists,
+    FileNotFound,
+    InvalidArgument,
+    IsADirectory,
+    NoSpace,
+    NotADirectory,
+    OutOfMemory,
+)
+from repro.sim.kernel import Kernel, Oracle
+from repro.sim import syscalls
+
+__all__ = [
+    "Clock",
+    "Kernel",
+    "Oracle",
+    "MachineConfig",
+    "PlatformSpec",
+    "PLATFORMS",
+    "linux22",
+    "netbsd15",
+    "solaris7",
+    "syscalls",
+    "SimOSError",
+    "BadFileDescriptor",
+    "FileExists",
+    "FileNotFound",
+    "InvalidArgument",
+    "IsADirectory",
+    "NoSpace",
+    "NotADirectory",
+    "OutOfMemory",
+    "NANOS",
+    "MICROS",
+    "MILLIS",
+    "SECONDS",
+]

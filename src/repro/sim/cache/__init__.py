@@ -1,0 +1,42 @@
+"""Page-replacement policies for the simulated file cache / unified pool.
+
+A policy is purely an *ordering structure*: it records touches and, when
+the memory manager asks, nominates victims.  Capacity enforcement and the
+eviction I/O live in :mod:`repro.sim.vm.physmem`, so every personality
+shares the same reclaim machinery and differs only in victim choice.
+"""
+
+from repro.sim.cache.base import AnonKey, FileKey, MetaKey, PageEntry, CachePolicy
+from repro.sim.cache.lru import LRUPolicy
+from repro.sim.cache.clockpolicy import ClockPolicy
+from repro.sim.cache.segmap import SegmapPolicy
+
+POLICIES = {
+    "lru": LRUPolicy,
+    "clock": ClockPolicy,
+    "segmap": SegmapPolicy,
+}
+
+
+def make_policy(name: str) -> CachePolicy:
+    """Instantiate a registered replacement policy by name."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown cache policy {name!r}; known: {sorted(POLICIES)}"
+        ) from None
+
+
+__all__ = [
+    "AnonKey",
+    "FileKey",
+    "MetaKey",
+    "PageEntry",
+    "CachePolicy",
+    "LRUPolicy",
+    "ClockPolicy",
+    "SegmapPolicy",
+    "POLICIES",
+    "make_policy",
+]

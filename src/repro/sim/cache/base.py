@@ -1,0 +1,99 @@
+"""Common types for page-replacement policies.
+
+Pages are identified by small tuples so they hash fast and print
+readably:
+
+* ``FileKey(fs_id, ino, page_index)``  — file data pages
+* ``MetaKey(fs_id, block)``            — inode/metadata blocks
+* ``AnonKey(pid, page_index)``         — anonymous (heap) pages
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator, List, NamedTuple, Tuple, Union
+
+
+class FileKey(NamedTuple):
+    fs_id: int
+    ino: int
+    index: int
+
+
+class MetaKey(NamedTuple):
+    fs_id: int
+    block: int
+
+
+class AnonKey(NamedTuple):
+    pid: int
+    index: int
+
+
+PageKey = Union[FileKey, MetaKey, AnonKey]
+
+
+class PageEntry(NamedTuple):
+    """A victim nomination: which page, and whether it needs writeback."""
+
+    key: PageKey
+    dirty: bool
+
+
+class CachePolicy(ABC):
+    """Interface every replacement policy implements.
+
+    Policies never perform I/O and never enforce capacity; they only
+    maintain recency/reference state and nominate victims on demand.
+    """
+
+    @abstractmethod
+    def touch(self, key: PageKey, dirty: bool = False) -> None:
+        """Record an access; inserts the page if it is not present."""
+
+    @abstractmethod
+    def contains(self, key: PageKey) -> bool:
+        """True if the page is currently cached."""
+
+    @abstractmethod
+    def is_dirty(self, key: PageKey) -> bool:
+        """True if the page is cached and has unwritten modifications."""
+
+    @abstractmethod
+    def mark_clean(self, key: PageKey) -> None:
+        """Clear the dirty bit after a writeback (no-op if absent)."""
+
+    @abstractmethod
+    def remove(self, key: PageKey) -> bool:
+        """Drop the page (truncate/unlink/free); True if it was present."""
+
+    @abstractmethod
+    def pop_victims(self, count: int) -> List[PageEntry]:
+        """Remove and return up to ``count`` victims, best-first."""
+
+    def demote(self, key: PageKey) -> None:
+        """Make the page the next eviction candidate (drop-behind).
+
+        Called after a written-back page's data is safely on disk so
+        streaming writers recycle their own pages.  Policies without a
+        meaningful "front" may ignore it; the default is a no-op.
+        """
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of cached pages."""
+
+    @abstractmethod
+    def keys(self) -> Iterator[PageKey]:
+        """Iterate over cached page keys (oracle/testing use)."""
+
+    # Convenience shared by all policies -------------------------------
+    def remove_many(self, keys: Iterable[PageKey]) -> int:
+        removed = 0
+        for key in keys:
+            if self.remove(key):
+                removed += 1
+        return removed
+
+    def dirty_keys(self) -> List[PageKey]:
+        return [k for k in self.keys() if self.is_dirty(k)]

@@ -1,0 +1,54 @@
+"""Strict least-recently-used replacement.
+
+Used directly by the ``netbsd15`` personality's fixed-size buffer cache
+and as the reference policy in tests (its behaviour is the easiest to
+reason about, so property tests compare other policies against it).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, List
+
+from repro.sim.cache.base import CachePolicy, PageEntry, PageKey
+
+
+class LRUPolicy(CachePolicy):
+    """OrderedDict-backed LRU; most recent at the back, victims from the front."""
+
+    def __init__(self) -> None:
+        self._pages: "OrderedDict[PageKey, bool]" = OrderedDict()
+
+    def touch(self, key: PageKey, dirty: bool = False) -> None:
+        previous = self._pages.pop(key, False)
+        self._pages[key] = previous or dirty
+
+    def contains(self, key: PageKey) -> bool:
+        return key in self._pages
+
+    def is_dirty(self, key: PageKey) -> bool:
+        return self._pages.get(key, False)
+
+    def mark_clean(self, key: PageKey) -> None:
+        if key in self._pages:
+            self._pages[key] = False
+
+    def remove(self, key: PageKey) -> bool:
+        return self._pages.pop(key, None) is not None
+
+    def pop_victims(self, count: int) -> List[PageEntry]:
+        victims: List[PageEntry] = []
+        while self._pages and len(victims) < count:
+            key, dirty = self._pages.popitem(last=False)
+            victims.append(PageEntry(key, dirty))
+        return victims
+
+    def demote(self, key: PageKey) -> None:
+        if key in self._pages:
+            self._pages.move_to_end(key, last=False)
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def keys(self) -> Iterator[PageKey]:
+        return iter(self._pages.keys())

@@ -1,0 +1,61 @@
+"""Simulated time.
+
+All simulated durations and timestamps are integer nanoseconds.  Using
+integers keeps the simulation exactly deterministic (no floating-point
+drift across platforms), which the reproduction relies on: every figure
+in EXPERIMENTS.md is regenerated bit-for-bit from a seed.
+"""
+
+from __future__ import annotations
+
+NANOS = 1
+MICROS = 1_000
+MILLIS = 1_000_000
+SECONDS = 1_000_000_000
+
+
+def ns_to_seconds(ns: int) -> float:
+    """Convert integer nanoseconds to float seconds (for reporting only)."""
+    return ns / SECONDS
+
+
+def seconds_to_ns(seconds: float) -> int:
+    """Convert float seconds to integer nanoseconds, rounding to nearest."""
+    return int(round(seconds * SECONDS))
+
+
+class Clock:
+    """A monotonically non-decreasing simulated clock.
+
+    The kernel owns one clock.  Components that model busy resources
+    (disks, CPUs) keep their own ``busy_until`` horizons and reconcile
+    against this clock.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start before time zero")
+        self._now = start
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    def advance(self, delta: int) -> int:
+        """Move the clock forward by ``delta`` nanoseconds and return now."""
+        if delta < 0:
+            raise ValueError(f"cannot advance clock by negative delta {delta}")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, timestamp: int) -> int:
+        """Move the clock forward to ``timestamp`` if it is in the future."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"Clock(now={self._now}ns)"

@@ -1,0 +1,74 @@
+"""Error hierarchy for the simulated OS.
+
+These mirror the errno conditions the paper's library code would see from
+a real UNIX kernel.  ICL code catches :class:`SimOSError` subclasses the
+same way user-level code catches ``OSError``.
+"""
+
+from __future__ import annotations
+
+
+class SimOSError(Exception):
+    """Base class for every error the simulated kernel raises to a process."""
+
+    errno_name = "EIO"
+
+
+class FileNotFound(SimOSError):
+    """A path component does not exist (ENOENT)."""
+
+    errno_name = "ENOENT"
+
+
+class FileExists(SimOSError):
+    """Attempt to create a name that already exists (EEXIST)."""
+
+    errno_name = "EEXIST"
+
+
+class NotADirectory(SimOSError):
+    """A non-directory appeared where a directory was required (ENOTDIR)."""
+
+    errno_name = "ENOTDIR"
+
+
+class IsADirectory(SimOSError):
+    """A directory appeared where a file was required (EISDIR)."""
+
+    errno_name = "EISDIR"
+
+
+class DirectoryNotEmpty(SimOSError):
+    """rmdir of a non-empty directory (ENOTEMPTY)."""
+
+    errno_name = "ENOTEMPTY"
+
+
+class BadFileDescriptor(SimOSError):
+    """Operation on a closed or foreign file descriptor (EBADF)."""
+
+    errno_name = "EBADF"
+
+
+class InvalidArgument(SimOSError):
+    """Malformed syscall arguments (EINVAL)."""
+
+    errno_name = "EINVAL"
+
+
+class NoSpace(SimOSError):
+    """The filesystem ran out of blocks or inodes (ENOSPC)."""
+
+    errno_name = "ENOSPC"
+
+
+class OutOfMemory(SimOSError):
+    """No physical or swap space left to satisfy an allocation (ENOMEM)."""
+
+    errno_name = "ENOMEM"
+
+
+class PermissionDenied(SimOSError):
+    """Privileged operation attempted by an ordinary process (EPERM)."""
+
+    errno_name = "EPERM"

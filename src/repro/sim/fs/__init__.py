@@ -1,0 +1,26 @@
+"""FFS-like filesystem structures.
+
+Pure data structures and allocators — all timing and caching decisions
+live in the kernel.  The layout properties the paper's FLDC exploits are
+structural here: inodes are numbered within per-directory cylinder
+groups, data blocks are first-fit-contiguous near the inode, and aging
+(delete/create churn) fragments both, decorrelating i-number order from
+layout order until a directory refresh re-packs it.
+"""
+
+from repro.sim.fs.inode import INODE_BYTES, FileKind, Inode
+from repro.sim.fs.directory import Directory, DIRENT_BYTES
+from repro.sim.fs.ffs import FFS, CylinderGroup
+from repro.sim.fs.vfs import MountTable, PathName
+
+__all__ = [
+    "INODE_BYTES",
+    "DIRENT_BYTES",
+    "FileKind",
+    "Inode",
+    "Directory",
+    "FFS",
+    "CylinderGroup",
+    "MountTable",
+    "PathName",
+]

@@ -1,0 +1,63 @@
+"""Directory contents.
+
+A directory is an inode whose data blocks hold (name -> ino) entries.
+Entry order is insertion order, which is what ``readdir`` returns — so an
+application that naively processes readdir order inherits creation order
+on a fresh directory and an arbitrary order after aging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.sim.errors import FileExists, FileNotFound
+
+DIRENT_BYTES = 32
+
+
+@dataclass
+class Directory:
+    """In-memory image of one directory's entries."""
+
+    ino: int
+    parent_ino: int
+    entries: Dict[str, int] = field(default_factory=dict)
+
+    def lookup(self, name: str) -> int:
+        try:
+            return self.entries[name]
+        except KeyError:
+            raise FileNotFound(f"no entry {name!r} in directory #{self.ino}") from None
+
+    def contains(self, name: str) -> bool:
+        return name in self.entries
+
+    def add(self, name: str, ino: int) -> None:
+        if name in self.entries:
+            raise FileExists(f"entry {name!r} already exists in directory #{self.ino}")
+        self.entries[name] = ino
+
+    def remove(self, name: str) -> int:
+        try:
+            return self.entries.pop(name)
+        except KeyError:
+            raise FileNotFound(f"no entry {name!r} in directory #{self.ino}") from None
+
+    def names(self) -> List[str]:
+        """Entry names in on-disk (insertion) order."""
+        return list(self.entries.keys())
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        return iter(self.entries.items())
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.entries
+
+    def data_bytes(self) -> int:
+        """Serialized size ('.' and '..' included), for block accounting."""
+        return (len(self.entries) + 2) * DIRENT_BYTES

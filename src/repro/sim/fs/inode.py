@@ -1,0 +1,98 @@
+"""Inodes.
+
+Timestamps are stored at *one-second* granularity, mirroring the paper's
+observation (§4.2.1) that creation-time resolution "is not sufficient
+when multiple files are created nearly simultaneously" — which is why
+FLDC must fall back on i-numbers to recover creation order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List
+
+from repro.sim.clock import SECONDS
+
+INODE_BYTES = 128
+
+
+class FileKind(Enum):
+    FILE = "file"
+    DIRECTORY = "directory"
+
+
+def to_inode_seconds(now_ns: int) -> int:
+    """Truncate a nanosecond timestamp to inode (second) resolution."""
+    return now_ns // SECONDS
+
+
+@dataclass
+class Inode:
+    """On-disk inode image: identity, size, and the block map."""
+
+    ino: int
+    fs_id: int
+    kind: FileKind
+    size: int = 0
+    nlink: int = 1
+    # page index -> absolute disk block (parallel list; index i = page i)
+    blocks: List[int] = field(default_factory=list)
+    atime: int = 0  # seconds
+    mtime: int = 0  # seconds
+    ctime: int = 0  # seconds
+
+    @property
+    def is_dir(self) -> bool:
+        return self.kind is FileKind.DIRECTORY
+
+    def npages(self, page_size: int) -> int:
+        return (self.size + page_size - 1) // page_size
+
+    def block_of_page(self, index: int) -> int:
+        if not 0 <= index < len(self.blocks):
+            raise IndexError(
+                f"inode {self.ino}: page {index} beyond mapped {len(self.blocks)} blocks"
+            )
+        return self.blocks[index]
+
+    def stamp(self, now_ns: int, *, access: bool = False, modify: bool = False,
+              change: bool = False) -> None:
+        seconds = to_inode_seconds(now_ns)
+        if access:
+            self.atime = seconds
+        if modify:
+            self.mtime = seconds
+        if change:
+            self.ctime = seconds
+
+
+@dataclass(frozen=True)
+class StatResult:
+    """What the stat() syscall returns to a process.
+
+    This is the *entire* per-file information channel FLDC has: note that
+    it includes the i-number but nothing about block addresses.
+    """
+
+    ino: int
+    fs_id: int
+    kind: FileKind
+    size: int
+    nlink: int
+    atime: int
+    mtime: int
+    ctime: int
+
+    @classmethod
+    def from_inode(cls, inode: Inode) -> "StatResult":
+        return cls(
+            ino=inode.ino,
+            fs_id=inode.fs_id,
+            kind=inode.kind,
+            size=inode.size,
+            nlink=inode.nlink,
+            atime=inode.atime,
+            mtime=inode.mtime,
+            ctime=inode.ctime,
+        )

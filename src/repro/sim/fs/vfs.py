@@ -1,0 +1,84 @@
+"""Path names and the mount table.
+
+Paths are absolute and rooted at a mount point: ``/mnt0/dir/file`` names
+``dir/file`` on the filesystem mounted at ``mnt0``.  The pseudo-root
+``/`` lists the mounts.  Path *resolution* (walking directories, which
+costs directory-block reads) is performed by the kernel so it can charge
+time; this module only parses names and maps mounts to filesystems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.sim.errors import FileNotFound, InvalidArgument
+from repro.sim.fs.ffs import FFS
+
+
+@dataclass(frozen=True)
+class PathName:
+    """A parsed absolute path: mount name plus components."""
+
+    mount: str
+    components: Tuple[str, ...]
+
+    @classmethod
+    def parse(cls, path: str) -> "PathName":
+        if not path or not path.startswith("/"):
+            raise InvalidArgument(f"path must be absolute: {path!r}")
+        parts = [p for p in path.split("/") if p]
+        if not parts:
+            raise InvalidArgument("the pseudo-root '/' names no file")
+        for part in parts:
+            if part in (".", ".."):
+                raise InvalidArgument("'.'/'..' components are not supported")
+        return cls(mount=parts[0], components=tuple(parts[1:]))
+
+    @property
+    def dirname(self) -> "PathName":
+        if not self.components:
+            raise InvalidArgument(f"mount point /{self.mount} has no parent")
+        return PathName(self.mount, self.components[:-1])
+
+    @property
+    def basename(self) -> str:
+        if not self.components:
+            raise InvalidArgument(f"mount point /{self.mount} has no basename")
+        return self.components[-1]
+
+    def __str__(self) -> str:
+        return "/" + "/".join((self.mount,) + self.components)
+
+
+def join(*parts: str) -> str:
+    """Join path fragments with single slashes (no normalization)."""
+    cleaned = [p.strip("/") for p in parts if p.strip("/")]
+    return "/" + "/".join(cleaned)
+
+
+class MountTable:
+    """Maps mount names to FFS instances (and their backing disk ids)."""
+
+    def __init__(self) -> None:
+        self._mounts: Dict[str, Tuple[FFS, int]] = {}
+
+    def mount(self, name: str, fs: FFS, disk_id: int) -> None:
+        if name in self._mounts:
+            raise InvalidArgument(f"mount name {name!r} already in use")
+        self._mounts[name] = (fs, disk_id)
+
+    def filesystem(self, name: str) -> Tuple[FFS, int]:
+        try:
+            return self._mounts[name]
+        except KeyError:
+            raise FileNotFound(f"no filesystem mounted at /{name}") from None
+
+    def names(self) -> List[str]:
+        return list(self._mounts.keys())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._mounts
+
+    def __len__(self) -> int:
+        return len(self._mounts)

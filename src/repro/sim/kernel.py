@@ -1,0 +1,956 @@
+"""The simulated kernel.
+
+Executes syscalls on behalf of generator-coroutine processes, charging
+each one simulated time assembled from the machine model:
+
+* CPU work contends for the machine's CPUs (``compute``);
+* file reads/writes walk the page cache, clustering contiguous misses
+  into single disk requests;
+* memory faults zero-fill, swap in, and — when the pool is full —
+  synchronously pay for the page daemon's clustered writebacks;
+* disks serialize requests through ``busy_until``, so competing
+  processes queue realistically.
+
+Processes see *only* :class:`~repro.sim.syscalls.SyscallResult` values.
+Tests and the experiment harness use :class:`Oracle` for ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Set, Tuple
+
+from repro.sim.cache.base import AnonKey, FileKey, MetaKey, PageEntry
+from repro.sim.clock import Clock
+from repro.sim.config import MachineConfig, PlatformSpec, linux22
+from repro.sim.disk import Disk
+from repro.sim.errors import (
+    BadFileDescriptor,
+    FileNotFound,
+    InvalidArgument,
+    IsADirectory,
+    NotADirectory,
+    SimOSError,
+)
+from repro.sim.fs.directory import DIRENT_BYTES
+from repro.sim.fs.ffs import FFS, ROOT_INO
+from repro.sim.fs.inode import FileKind, Inode, StatResult
+from repro.sim.fs.vfs import MountTable, PathName
+from repro.sim.proc.process import OpenFile, PipeBuffer, Process, ProcessState
+from repro.sim.proc.scheduler import Scheduler
+from repro.sim.syscalls import ReadResult, Syscall, SyscallResult
+from repro.sim.vm.physmem import FaultKind, MemoryManager
+
+
+class _Block:
+    """Sentinel a handler returns to park the caller until woken."""
+
+    __slots__ = ()
+
+
+BLOCK = _Block()
+
+# Default cylinder-group footprint: 16 MiB of data blocks per group
+# ("a few consecutive cylinders" at 2001 densities), independent of the
+# configured page size.
+CG_BYTES_DEFAULT = 16 * 1024 * 1024
+
+
+class Kernel:
+    """One simulated machine plus its operating system."""
+
+    def __init__(
+        self,
+        config: Optional[MachineConfig] = None,
+        platform: PlatformSpec = linux22,
+        *,
+        cg_bytes: int = CG_BYTES_DEFAULT,
+        inodes_per_cg: int = 1024,
+        fs_class: type = FFS,
+    ) -> None:
+        self.config = config or MachineConfig()
+        self.platform = platform
+        self.clock = Clock()
+        cfg = self.config
+
+        self.data_disk_list = [Disk(cfg.disk, disk_id=i) for i in range(cfg.data_disks)]
+        self.swap_disk = Disk(cfg.disk, disk_id=cfg.data_disks)
+
+        swap_pages = self.swap_disk.capacity_blocks(cfg.page_size)
+        self.mm = MemoryManager(cfg, platform, swap_capacity_pages=swap_pages)
+
+        blocks_per_cg = max(cg_bytes // cfg.page_size, 64)
+        self.mounts = MountTable()
+        self._fs_by_id: Dict[int, FFS] = {}
+        self._disk_of_fs: Dict[int, Disk] = {}
+        for i, disk in enumerate(self.data_disk_list):
+            fs = fs_class(
+                fs_id=i,
+                total_blocks=disk.capacity_blocks(cfg.page_size),
+                block_bytes=cfg.page_size,
+                blocks_per_cg=blocks_per_cg,
+                inodes_per_cg=inodes_per_cg,
+                alloc_gap=platform.ffs_alloc_gap,
+            )
+            self.mounts.mount(f"mnt{i}", fs, disk.disk_id)
+            self._fs_by_id[fs.fs_id] = fs
+            self._disk_of_fs[fs.fs_id] = disk
+
+        self._cpu_free_at = [0] * cfg.cpus
+        self.scheduler = Scheduler()
+        self._next_pid = 1
+        self._next_pipe_id = 1
+        self._open_count: Dict[Tuple[int, int], int] = {}
+        # Real byte content, present only for files written with bytes.
+        self.contents: Dict[Tuple[int, int], bytearray] = {}
+        self.oracle = Oracle(self)
+
+        self._handlers: Dict[str, Callable] = {
+            name[5:]: getattr(self, name)
+            for name in dir(self)
+            if name.startswith("_sys_")
+        }
+
+    # ==================================================================
+    # Process lifecycle and the scheduler loop
+    # ==================================================================
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        process = Process(self._next_pid, gen, name)
+        self._next_pid += 1
+        process.ready_at = self.clock.now
+        self.scheduler.add(process)
+        return process
+
+    def spawn_with_pipe_ends(
+        self,
+        gen_factory: Callable[..., Generator],
+        ends: List[Tuple[PipeBuffer, str]],
+        name: str = "",
+    ) -> Process:
+        """Spawn a process holding descriptors on pre-made pipes.
+
+        The shell's fd-inheritance equivalent: ``ends`` is a list of
+        (pipe, "pipe_r"|"pipe_w") pairs; the factory is called with the
+        resulting fd numbers, in order, to build the process body.
+        """
+        process = Process(self._next_pid, iter(()), name)
+        self._next_pid += 1
+        fds = [self.share_pipe_end(process, pipe, kind) for pipe, kind in ends]
+        process.gen = gen_factory(*fds)
+        process.ready_at = self.clock.now
+        self.scheduler.add(process)
+        return process
+
+    def run(self, max_steps: Optional[int] = None) -> None:
+        """Run until every process finishes (or ``max_steps`` syscalls)."""
+        steps = 0
+        while True:
+            process = self.scheduler.next_ready()
+            if process is None:
+                blocked = self.scheduler.blocked()
+                if blocked:
+                    names = ", ".join(p.name for p in blocked)
+                    raise RuntimeError(f"deadlock: blocked processes remain: {names}")
+                return
+            self.clock.advance_to(process.ready_at)
+            self._step(process)
+            steps += 1
+            if max_steps is not None and steps >= max_steps:
+                raise RuntimeError(f"exceeded max_steps={max_steps}")
+
+    def run_process(self, gen: Generator, name: str = "") -> Any:
+        """Spawn one process, run the machine to idle, return its result."""
+        process = self.spawn(gen, name)
+        self.run()
+        return process.result
+
+    def _step(self, process: Process) -> None:
+        retry = getattr(process, "retry_syscall", None)
+        if retry is not None:
+            self._execute(process, retry)
+            return
+        try:
+            if process.pending_exception is not None:
+                exc = process.pending_exception
+                process.pending_exception = None
+                item = process.gen.throw(exc)
+            elif not process.started:
+                process.started = True
+                item = next(process.gen)
+            else:
+                item = process.gen.send(process.pending_value)
+        except StopIteration as stop:
+            self._exit_process(process, stop.value)
+            return
+        if not isinstance(item, Syscall):
+            raise TypeError(
+                f"{process.name} yielded {item!r}; processes must yield Syscall objects"
+            )
+        self._execute(process, item)
+
+    def _execute(self, process: Process, syscall: Syscall) -> None:
+        handler = self._handlers.get(syscall.name)
+        if handler is None:
+            raise InvalidArgument(f"unknown syscall {syscall.name!r}")
+        start = self.clock.now
+        process.stats.syscalls += 1
+        try:
+            outcome = handler(process, *syscall.args)
+        except SimOSError as err:
+            # Deliver the failure into the process after the base overhead.
+            process.pending_exception = err
+            process.retry_syscall = None
+            self.scheduler.make_ready(process, start + self.config.syscall_overhead_ns)
+            return
+        if outcome is BLOCK:
+            process.retry_syscall = syscall
+            self.scheduler.block(process)
+            return
+        value, duration = outcome
+        finish = start + duration
+        process.pending_value = SyscallResult(value, finish - start, start, finish)
+        process.retry_syscall = None
+        self.scheduler.make_ready(process, finish)
+
+    def _exit_process(self, process: Process, result: Any) -> None:
+        process.result = result
+        process.state = ProcessState.DONE
+        for fd in list(process.fd_table):
+            self._release_fd(process, process.fd_table.pop(fd))
+        keys = [AnonKey(process.pid, page) for page in process.address_space.touched]
+        self.mm.release_process(process.pid, keys)
+        for waiter_pid in process.waiters:
+            waiter = self.scheduler.processes.get(waiter_pid)
+            if waiter is not None and waiter.state is ProcessState.BLOCKED:
+                self.scheduler.make_ready(waiter, self.clock.now)
+        process.waiters.clear()
+
+    def _wake_all(self, pids: List[int]) -> None:
+        for pid in pids:
+            waiter = self.scheduler.processes.get(pid)
+            if waiter is not None and waiter.state is ProcessState.BLOCKED:
+                self.scheduler.make_ready(waiter, self.clock.now)
+        pids.clear()
+
+    # ==================================================================
+    # Path resolution and metadata I/O
+    # ==================================================================
+    def _fs_for(self, parsed: PathName) -> Tuple[FFS, Disk]:
+        fs, disk_id = self.mounts.filesystem(parsed.mount)
+        return fs, self._disk_of_fs[fs.fs_id]
+
+    def _meta_read(self, fs: FFS, disk: Disk, block: int, t: int) -> int:
+        """Read one metadata block through the cache; returns new time."""
+        key = MetaKey(fs.fs_id, block)
+        if self.mm.file_cached(key):
+            self.mm.touch_file(key)
+            return t + self.config.page_copy_ns(128)
+        _start, end = disk.access(block, 1, t, self.config.page_size)
+        victims = self.mm.touch_file(key)
+        return self._dispose_victims(victims, end)
+
+    def _read_inode(self, fs: FFS, disk: Disk, ino: int, t: int) -> int:
+        return self._meta_read(fs, disk, fs.inode_table_block(ino), t)
+
+    def _read_dir_pages(self, fs: FFS, disk: Disk, dir_ino: int, t: int) -> int:
+        inode = fs.get_inode(dir_ino)
+        npages = max(inode.npages(self.config.page_size), 1)
+        t, _hits = self._read_file_pages(fs, disk, inode, range(min(npages, len(inode.blocks))), t)
+        return t
+
+    def _resolve(self, process: Process, path: str, t: int) -> Tuple[FFS, Disk, Inode, int]:
+        """Walk ``path``; returns (fs, disk, inode, new_time)."""
+        parsed = PathName.parse(path)
+        fs, disk = self._fs_for(parsed)
+        ino = ROOT_INO
+        t = self._read_inode(fs, disk, ino, t)
+        for component in parsed.components:
+            inode = fs.get_inode(ino)
+            if not inode.is_dir:
+                raise NotADirectory(f"{component!r} reached via a non-directory")
+            t = self._read_dir_pages(fs, disk, ino, t)
+            ino = fs.get_directory(ino).lookup(component)
+            t = self._read_inode(fs, disk, ino, t)
+        return fs, disk, fs.get_inode(ino), t
+
+    def _resolve_parent(
+        self, process: Process, path: str, t: int
+    ) -> Tuple[FFS, Disk, Inode, str, int]:
+        parsed = PathName.parse(path)
+        fs, disk, parent, t = self._resolve(process, str(parsed.dirname), t)
+        if not parent.is_dir:
+            raise NotADirectory(f"parent of {path!r} is not a directory")
+        return fs, disk, parent, parsed.basename, t
+
+    # ==================================================================
+    # Data-page I/O
+    # ==================================================================
+    def _read_file_pages(
+        self, fs: FFS, disk: Disk, inode: Inode, indexes: Iterable[int], t: int
+    ) -> Tuple[int, int]:
+        """Bring the given pages into cache; returns (new_time, hit_count).
+
+        Contiguous cache misses whose disk blocks are also contiguous are
+        clustered into single disk requests.
+        """
+        hits = 0
+        run_start_block = -1
+        run_len = 0
+
+        def flush_run(now: int) -> int:
+            nonlocal run_len, run_start_block
+            if run_len == 0:
+                return now
+            _s, end = disk.access(run_start_block, run_len, now, self.config.page_size)
+            run_len = 0
+            return end
+
+        pending_victims: List[PageEntry] = []
+        for index in indexes:
+            key = FileKey(fs.fs_id, inode.ino, index)
+            if self.mm.file_cached(key):
+                self.mm.touch_file(key)
+                hits += 1
+                continue
+            block = inode.block_of_page(index)
+            if run_len and block == run_start_block + run_len:
+                run_len += 1
+            else:
+                t = flush_run(t)
+                run_start_block = block
+                run_len = 1
+            pending_victims.extend(self.mm.touch_file(key))
+        t = flush_run(t)
+        t = self._dispose_victims(pending_victims, t)
+        return t, hits
+
+    def _write_file_pages(
+        self, fs: FFS, disk: Disk, inode: Inode, offset: int, nbytes: int, t: int
+    ) -> int:
+        """Dirty the pages covering [offset, offset+nbytes) through the cache."""
+        page = self.config.page_size
+        first = offset // page
+        last = (offset + nbytes - 1) // page
+        old_pages = len(inode.blocks)
+        fs.grow_to_size(inode, offset + nbytes)
+        fs.rewrite_pages(inode, first, min(last, old_pages - 1))
+        victims: List[PageEntry] = []
+        for index in range(first, last + 1):
+            key = FileKey(fs.fs_id, inode.ino, index)
+            covers_whole = offset <= index * page and (index + 1) * page <= offset + nbytes
+            needs_rmw = (
+                not covers_whole
+                and index < old_pages
+                and not self.mm.file_cached(key)
+            )
+            if needs_rmw:
+                t, _ = self._read_file_pages(fs, disk, inode, [index], t)
+            victims.extend(self.mm.touch_file(key, dirty=True))
+        return self._dispose_victims(victims, t)
+
+    def _dispose_victims(self, victims: List[PageEntry], t: int) -> int:
+        """Perform the page daemon's writebacks; returns the new time.
+
+        Anonymous victims already have swap slots assigned; contiguous
+        slots become one clustered swap write.  Dirty file/meta pages are
+        written back to their home blocks, clustered where contiguous.
+        """
+        if not victims:
+            return t
+        swap_slots: List[int] = []
+        file_writes: Dict[int, List[int]] = {}
+        for entry in victims:
+            key = entry.key
+            if isinstance(key, AnonKey):
+                slot = self.mm.swap.slot_of(key)
+                if slot is not None:
+                    swap_slots.append(slot)
+            elif isinstance(key, FileKey) and entry.dirty:
+                fs = self._fs_by_id.get(key.fs_id)
+                if fs is None:
+                    continue
+                inode = fs.inodes.get(key.ino)
+                if inode is None or key.index >= len(inode.blocks):
+                    continue
+                file_writes.setdefault(key.fs_id, []).append(inode.blocks[key.index])
+            elif isinstance(key, MetaKey) and entry.dirty:
+                file_writes.setdefault(key.fs_id, []).append(key.block)
+        for start, length in _runs(sorted(swap_slots)):
+            _s, t = self.swap_disk.access(start, length, t, self.config.page_size, write=True)
+        for fs_id, blocks in file_writes.items():
+            disk = self._disk_of_fs[fs_id]
+            for start, length in _runs(sorted(blocks)):
+                _s, t = disk.access(start, length, t, self.config.page_size, write=True)
+        return t
+
+    def _throttle_dirty(self, t: int) -> int:
+        """bdflush-style write throttling (charged to the writer).
+
+        When dirty file pages exceed their share of memory, flush the
+        oldest down to the target and demote them so streaming writers
+        recycle their own pages instead of evicting read caches.
+        """
+        cfg = self.config
+        capacity = self.mm.file_capacity_pages
+        limit = int(capacity * cfg.dirty_limit_frac)
+        if self.mm.dirty_file_pages <= limit:
+            return t
+        target = int(capacity * cfg.dirty_flush_target_frac)
+        need = self.mm.dirty_file_pages - target
+        keys = self.mm.oldest_dirty_file_keys(need)
+        writes: Dict[int, List[int]] = {}
+        for key in keys:
+            if isinstance(key, FileKey):
+                fs = self._fs_by_id.get(key.fs_id)
+                inode = fs.inodes.get(key.ino) if fs else None
+                if inode is None or key.index >= len(inode.blocks):
+                    self.mm.writeback_complete(key)
+                    continue
+                writes.setdefault(key.fs_id, []).append(inode.blocks[key.index])
+            elif isinstance(key, MetaKey):
+                writes.setdefault(key.fs_id, []).append(key.block)
+            self.mm.writeback_complete(key)
+        for fs_id, blocks in writes.items():
+            disk = self._disk_of_fs[fs_id]
+            for start, length in _runs(sorted(blocks)):
+                _s, t = disk.access(start, length, t, self.config.page_size, write=True)
+        return t
+
+    def _drop_file_cache(self, fs: FFS, inode: Inode) -> None:
+        for index in range(len(inode.blocks)):
+            self.mm.drop_file_page(FileKey(fs.fs_id, inode.ino, index))
+
+    # ==================================================================
+    # Syscall handlers (each returns (value, duration) or BLOCK)
+    # ==================================================================
+    def _sys_open(self, process: Process, path: str):
+        t0 = self.clock.now
+        t = t0 + self.config.syscall_overhead_ns
+        fs, disk, inode, t = self._resolve(process, path, t)
+        if inode.is_dir:
+            raise IsADirectory(f"{path!r} is a directory")
+        entry = process.new_fd("file", fs_name=PathName.parse(path).mount, ino=inode.ino)
+        self._open_count[(fs.fs_id, inode.ino)] = (
+            self._open_count.get((fs.fs_id, inode.ino), 0) + 1
+        )
+        return entry.fd, t - t0
+
+    def _sys_create(self, process: Process, path: str):
+        t0 = self.clock.now
+        t = t0 + self.config.syscall_overhead_ns
+        fs, disk, parent, name, t = self._resolve_parent(process, path, t)
+        inode = fs.create(parent.ino, name, FileKind.FILE, self.clock.now)
+        t = self._dirty_meta(fs, inode.ino, t)
+        t = self._dirty_meta(fs, parent.ino, t)
+        t = self._dirty_dir_data(fs, parent.ino, t)
+        entry = process.new_fd("file", fs_name=PathName.parse(path).mount, ino=inode.ino)
+        self._open_count[(fs.fs_id, inode.ino)] = (
+            self._open_count.get((fs.fs_id, inode.ino), 0) + 1
+        )
+        return entry.fd, t - t0
+
+    def _dirty_meta(self, fs: FFS, ino: int, t: int) -> int:
+        key = MetaKey(fs.fs_id, fs.inode_table_block(ino))
+        victims = self.mm.touch_file(key, dirty=True)
+        return self._dispose_victims(victims, t)
+
+    def _dirty_dir_data(self, fs: FFS, dir_ino: int, t: int) -> int:
+        """Writing a directory entry leaves the directory's data cached."""
+        inode = fs.get_inode(dir_ino)
+        victims: List[PageEntry] = []
+        for index in range(len(inode.blocks)):
+            victims.extend(
+                self.mm.touch_file(FileKey(fs.fs_id, dir_ino, index), dirty=True)
+            )
+        return self._dispose_victims(victims, t)
+
+    def _sys_close(self, process: Process, fd: int):
+        entry = process.close_fd(fd)
+        self._release_fd(process, entry)
+        return None, self.config.syscall_overhead_ns
+
+    def _release_fd(self, process: Process, entry: OpenFile) -> None:
+        if entry.kind == "file":
+            fs, _ = self.mounts.filesystem(entry.fs_name)
+            key = (fs.fs_id, entry.ino)
+            count = self._open_count.get(key, 0) - 1
+            if count > 0:
+                self._open_count[key] = count
+            else:
+                self._open_count.pop(key, None)
+        elif entry.kind == "pipe_r" and entry.pipe is not None:
+            entry.pipe.readers -= 1
+            self._wake_all(entry.pipe.waiting_writers)
+        elif entry.kind == "pipe_w" and entry.pipe is not None:
+            entry.pipe.writers -= 1
+            self._wake_all(entry.pipe.waiting_readers)
+
+    def _file_of(self, entry: OpenFile) -> Tuple[FFS, Disk, Inode]:
+        fs, _disk_id = self.mounts.filesystem(entry.fs_name)
+        inode = fs.get_inode(entry.ino)
+        return fs, self._disk_of_fs[fs.fs_id], inode
+
+    def _sys_read(self, process: Process, fd: int, nbytes: int):
+        entry = process.lookup_fd(fd)
+        if entry.kind == "pipe_r":
+            return self._pipe_read(process, entry, nbytes)
+        if entry.kind != "file":
+            raise BadFileDescriptor(f"fd {fd} is not readable")
+        value, duration = self._do_read(process, entry, entry.pos, nbytes)
+        entry.pos += value.nbytes
+        return value, duration
+
+    def _sys_pread(self, process: Process, fd: int, offset: int, nbytes: int):
+        entry = process.lookup_fd(fd)
+        if entry.kind != "file":
+            raise BadFileDescriptor(f"fd {fd} does not support pread")
+        return self._do_read(process, entry, offset, nbytes)
+
+    def _do_read(self, process: Process, entry: OpenFile, offset: int, nbytes: int):
+        if offset < 0 or nbytes < 0:
+            raise InvalidArgument("negative offset or length")
+        t0 = self.clock.now
+        t = t0 + self.config.syscall_overhead_ns
+        fs, disk, inode = self._file_of(entry)
+        effective = min(nbytes, max(inode.size - offset, 0))
+        if effective == 0:
+            return ReadResult(0), t - t0
+        page = self.config.page_size
+        first = offset // page
+        last = (offset + effective - 1) // page
+        t, _hits = self._read_file_pages(fs, disk, inode, range(first, last + 1), t)
+        t += self.config.page_copy_ns(effective)
+        inode.stamp(self.clock.now, access=True)
+        data = None
+        stored = self.contents.get((fs.fs_id, inode.ino))
+        if stored is not None:
+            data = bytes(stored[offset : offset + effective])
+        return ReadResult(effective, data), t - t0
+
+    def _sys_write(self, process: Process, fd: int, data):
+        entry = process.lookup_fd(fd)
+        if entry.kind == "pipe_w":
+            return self._pipe_write(process, entry, data)
+        if entry.kind != "file":
+            raise BadFileDescriptor(f"fd {fd} is not writable")
+        value, duration = self._do_write(process, entry, entry.pos, data)
+        entry.pos += value
+        return value, duration
+
+    def _sys_pwrite(self, process: Process, fd: int, offset: int, data):
+        entry = process.lookup_fd(fd)
+        if entry.kind != "file":
+            raise BadFileDescriptor(f"fd {fd} does not support pwrite")
+        return self._do_write(process, entry, offset, data)
+
+    def _do_write(self, process: Process, entry: OpenFile, offset: int, data):
+        payload = data if isinstance(data, (bytes, bytearray)) else None
+        nbytes = len(payload) if payload is not None else int(data)
+        if offset < 0 or nbytes < 0:
+            raise InvalidArgument("negative offset or length")
+        if nbytes == 0:
+            return 0, self.config.syscall_overhead_ns
+        t0 = self.clock.now
+        t = t0 + self.config.syscall_overhead_ns
+        fs, disk, inode = self._file_of(entry)
+        t = self._write_file_pages(fs, disk, inode, offset, nbytes, t)
+        t += self.config.page_copy_ns(nbytes)
+        t = self._dirty_meta(fs, inode.ino, t)
+        t = self._throttle_dirty(t)
+        inode.stamp(self.clock.now, modify=True, change=True)
+        if payload is not None:
+            stored = self.contents.setdefault((fs.fs_id, inode.ino), bytearray())
+            if len(stored) < offset:
+                stored.extend(b"\x00" * (offset - len(stored)))
+            stored[offset : offset + nbytes] = payload
+        return nbytes, t - t0
+
+    def _sys_seek(self, process: Process, fd: int, offset: int):
+        entry = process.lookup_fd(fd)
+        if entry.kind != "file":
+            raise BadFileDescriptor(f"fd {fd} does not support seek")
+        if offset < 0:
+            raise InvalidArgument("negative seek offset")
+        entry.pos = offset
+        return offset, self.config.syscall_overhead_ns
+
+    def _sys_fsync(self, process: Process, fd: int):
+        entry = process.lookup_fd(fd)
+        if entry.kind != "file":
+            raise BadFileDescriptor(f"fd {fd} does not support fsync")
+        t0 = self.clock.now
+        t = t0 + self.config.syscall_overhead_ns
+        fs, disk, inode = self._file_of(entry)
+        dirty_blocks: List[int] = []
+        for index in range(len(inode.blocks)):
+            key = FileKey(fs.fs_id, inode.ino, index)
+            if self.mm.file_page_dirty(key):
+                dirty_blocks.append(inode.blocks[index])
+                self.mm.mark_file_clean(key)
+        for start, length in _runs(sorted(dirty_blocks)):
+            _s, t = disk.access(start, length, t, self.config.page_size, write=True)
+        return len(dirty_blocks), t - t0
+
+    def _sys_stat(self, process: Process, path: str):
+        t0 = self.clock.now
+        t = t0 + self.config.syscall_overhead_ns
+        fs, disk, inode, t = self._resolve(process, path, t)
+        return StatResult.from_inode(inode), t - t0
+
+    def _sys_fstat(self, process: Process, fd: int):
+        entry = process.lookup_fd(fd)
+        if entry.kind != "file":
+            raise BadFileDescriptor(f"fd {fd} does not support fstat")
+        fs, disk, inode = self._file_of(entry)
+        t = self.config.syscall_overhead_ns
+        return StatResult.from_inode(inode), t
+
+    def _sys_mkdir(self, process: Process, path: str):
+        t0 = self.clock.now
+        t = t0 + self.config.syscall_overhead_ns
+        fs, disk, parent, name, t = self._resolve_parent(process, path, t)
+        inode = fs.create(parent.ino, name, FileKind.DIRECTORY, self.clock.now)
+        t = self._dirty_meta(fs, inode.ino, t)
+        t = self._dirty_meta(fs, parent.ino, t)
+        t = self._dirty_dir_data(fs, parent.ino, t)
+        t = self._dirty_dir_data(fs, inode.ino, t)
+        return None, t - t0
+
+    def _sys_rmdir(self, process: Process, path: str):
+        t0 = self.clock.now
+        t = t0 + self.config.syscall_overhead_ns
+        fs, disk, parent, name, t = self._resolve_parent(process, path, t)
+        dead, _freed = fs.rmdir(parent.ino, name, self.clock.now)
+        self._drop_cached_inode(fs, dead)
+        t = self._dirty_meta(fs, parent.ino, t)
+        t = self._dirty_dir_data(fs, parent.ino, t)
+        return None, t - t0
+
+    def _sys_unlink(self, process: Process, path: str):
+        t0 = self.clock.now
+        t = t0 + self.config.syscall_overhead_ns
+        fs, disk, parent, name, t = self._resolve_parent(process, path, t)
+        ino = fs.get_directory(parent.ino).lookup(name)
+        if self._open_count.get((fs.fs_id, ino), 0) > 0:
+            raise InvalidArgument(f"{path!r} is still open; close it before unlink")
+        dead, _freed = fs.unlink(parent.ino, name, self.clock.now)
+        self._drop_cached_inode(fs, dead)
+        self.contents.pop((fs.fs_id, dead.ino), None)
+        t = self._dirty_meta(fs, parent.ino, t)
+        t = self._dirty_dir_data(fs, parent.ino, t)
+        return None, t - t0
+
+    def _drop_cached_inode(self, fs: FFS, dead: Inode) -> None:
+        npages = max(len(dead.blocks), dead.npages(self.config.page_size))
+        for index in range(npages):
+            self.mm.drop_file_page(FileKey(fs.fs_id, dead.ino, index))
+
+    def _sys_rename(self, process: Process, old: str, new: str):
+        t0 = self.clock.now
+        t = t0 + self.config.syscall_overhead_ns
+        old_parsed = PathName.parse(old)
+        new_parsed = PathName.parse(new)
+        if old_parsed.mount != new_parsed.mount:
+            raise InvalidArgument("rename cannot cross filesystems")
+        fs, disk, old_parent, old_name, t = self._resolve_parent(process, old, t)
+        _fs, _disk, new_parent, new_name, t = self._resolve_parent(process, new, t)
+        fs.rename(old_parent.ino, old_name, new_parent.ino, new_name, self.clock.now)
+        t = self._dirty_meta(fs, old_parent.ino, t)
+        t = self._dirty_meta(fs, new_parent.ino, t)
+        t = self._dirty_dir_data(fs, old_parent.ino, t)
+        t = self._dirty_dir_data(fs, new_parent.ino, t)
+        return None, t - t0
+
+    def _sys_readdir(self, process: Process, path: str):
+        t0 = self.clock.now
+        t = t0 + self.config.syscall_overhead_ns
+        parsed = PathName.parse(path)
+        fs, disk, inode, t = self._resolve(process, path, t)
+        if not inode.is_dir:
+            raise NotADirectory(f"{path!r} is not a directory")
+        t = self._read_dir_pages(fs, disk, inode.ino, t)
+        names = fs.get_directory(inode.ino).names()
+        t += self.config.page_copy_ns(len(names) * DIRENT_BYTES)
+        return names, t - t0
+
+    def _sys_utimes(self, process: Process, path: str, atime_s: int, mtime_s: int):
+        t0 = self.clock.now
+        t = t0 + self.config.syscall_overhead_ns
+        fs, disk, inode, t = self._resolve(process, path, t)
+        inode.atime = atime_s
+        inode.mtime = mtime_s
+        t = self._dirty_meta(fs, inode.ino, t)
+        return None, t - t0
+
+    # ------------------------------------------------------------------
+    # Memory syscalls
+    # ------------------------------------------------------------------
+    def _sys_vm_alloc(self, process: Process, nbytes: int, label: str = ""):
+        if nbytes <= 0:
+            raise InvalidArgument("vm_alloc needs a positive size")
+        npages = -(-nbytes // self.config.page_size)
+        region = process.address_space.allocate(npages, label)
+        return region.region_id, self.config.syscall_overhead_ns
+
+    def _sys_vm_free(self, process: Process, region_id: int):
+        space = process.address_space
+        region = space.region(region_id)
+        touched = [
+            AnonKey(process.pid, page)
+            for page in region.page_numbers()
+            if page in space.touched
+        ]
+        self.mm.free_anon_pages(process.pid, touched)
+        space.free(region_id)
+        return None, self.config.syscall_overhead_ns
+
+    def _touch_one(self, process: Process, region_id: int, page_index: int, t: int) -> int:
+        space = process.address_space
+        region = space.region(region_id)
+        if not 0 <= page_index < region.npages:
+            raise InvalidArgument(
+                f"page {page_index} outside region of {region.npages} pages"
+            )
+        page = region.base_page + page_index
+        key = AnonKey(process.pid, page)
+        touched_before = page in space.touched
+        fault = self.mm.anon_fault(key, touched_before)
+        space.touched.add(page)
+        cfg = self.config
+        if fault.kind is FaultKind.RESIDENT:
+            return t + cfg.mem_touch_ns
+        t += cfg.fault_overhead_ns
+        t = self._dispose_victims(fault.evictions, t)
+        if fault.kind is FaultKind.ZERO_FILL:
+            return t + cfg.page_zero_ns
+        _s, t = self.swap_disk.access(
+            fault.swapin_slot, 1, t, cfg.page_size, write=False
+        )
+        return t + cfg.mem_touch_ns
+
+    def _sys_touch(self, process: Process, region_id: int, page_index: int):
+        t0 = self.clock.now
+        t = self._touch_one(process, region_id, page_index, t0)
+        return None, t - t0
+
+    def _sys_touch_range(self, process: Process, region_id: int, start_page: int, npages: int):
+        if npages <= 0:
+            raise InvalidArgument("touch_range needs a positive page count")
+        t0 = self.clock.now
+        t = t0
+        per_page: List[int] = []
+        for index in range(start_page, start_page + npages):
+            before = t
+            t = self._touch_one(process, region_id, index, t)
+            per_page.append(t - before)
+        return per_page, t - t0
+
+    # ------------------------------------------------------------------
+    # Time and CPU
+    # ------------------------------------------------------------------
+    def _sys_gettime(self, process: Process):
+        overhead = self.config.gettime_overhead_ns
+        return self.clock.now + overhead, overhead
+
+    def _sys_compute(self, process: Process, ns: int):
+        if ns < 0:
+            raise InvalidArgument("negative compute time")
+        slot = min(range(len(self._cpu_free_at)), key=self._cpu_free_at.__getitem__)
+        start = max(self.clock.now, self._cpu_free_at[slot])
+        finish = start + ns
+        self._cpu_free_at[slot] = finish
+        process.stats.cpu_ns += ns
+        return None, finish - self.clock.now
+
+    def _sys_sleep(self, process: Process, ns: int):
+        if ns < 0:
+            raise InvalidArgument("negative sleep time")
+        return None, ns
+
+    # ------------------------------------------------------------------
+    # Processes and pipes
+    # ------------------------------------------------------------------
+    def _sys_getpid(self, process: Process):
+        return process.pid, self.config.gettime_overhead_ns
+
+    def _sys_spawn(self, process: Process, gen: Generator, name: str = ""):
+        child = self.spawn(gen, name)
+        return child.pid, self.config.syscall_overhead_ns
+
+    def _sys_waitpid(self, process: Process, pid: int):
+        target = self.scheduler.processes.get(pid)
+        if target is None:
+            raise InvalidArgument(f"no such process {pid}")
+        if target.done:
+            return target.result, self.config.syscall_overhead_ns
+        if process.pid not in target.waiters:
+            target.waiters.append(process.pid)
+        return BLOCK
+
+    def make_pipe(self) -> PipeBuffer:
+        """Create an unattached pipe for host-side pipeline wiring.
+
+        The shell equivalent: create the pipe, then hand each end to a
+        process with :meth:`share_pipe_end` before spawning it.
+        """
+        pipe = PipeBuffer(self._next_pipe_id)
+        self._next_pipe_id += 1
+        pipe.readers = 0
+        pipe.writers = 0
+        return pipe
+
+    def _sys_pipe(self, process: Process):
+        pipe = PipeBuffer(self._next_pipe_id)
+        self._next_pipe_id += 1
+        r = process.new_fd("pipe_r", pipe=pipe)
+        w = process.new_fd("pipe_w", pipe=pipe)
+        return (r.fd, w.fd), self.config.syscall_overhead_ns
+
+    def share_pipe_end(self, process: Process, pipe: PipeBuffer, kind: str) -> int:
+        """Give ``process`` a new descriptor on an existing pipe end.
+
+        Used by spawn helpers that wire parent/child pipelines together
+        (the counterpart of fd inheritance across fork/exec).
+        """
+        if kind == "pipe_r":
+            pipe.readers += 1
+        elif kind == "pipe_w":
+            pipe.writers += 1
+        else:
+            raise InvalidArgument(f"bad pipe end {kind!r}")
+        return process.new_fd(kind, pipe=pipe).fd
+
+    def _pipe_write(self, process: Process, entry: OpenFile, data):
+        pipe = entry.pipe
+        nbytes = len(data) if isinstance(data, (bytes, bytearray)) else int(data)
+        if nbytes <= 0:
+            raise InvalidArgument("pipe write needs a positive length")
+        if pipe.read_closed:
+            raise BadFileDescriptor("pipe has no readers (EPIPE)")
+        if pipe.space == 0:
+            if process.pid not in pipe.waiting_writers:
+                pipe.waiting_writers.append(process.pid)
+            return BLOCK
+        take = min(nbytes, pipe.space)
+        pipe.buffered += take
+        pipe.total_through += take
+        self._wake_all(pipe.waiting_readers)
+        duration = self.config.syscall_overhead_ns + self.config.page_copy_ns(take)
+        return take, duration
+
+    def _pipe_read(self, process: Process, entry: OpenFile, nbytes: int):
+        pipe = entry.pipe
+        if nbytes <= 0:
+            raise InvalidArgument("pipe read needs a positive length")
+        if pipe.buffered == 0:
+            if pipe.write_closed:
+                return ReadResult(0), self.config.syscall_overhead_ns
+            if process.pid not in pipe.waiting_readers:
+                pipe.waiting_readers.append(process.pid)
+            return BLOCK
+        take = min(nbytes, pipe.buffered)
+        pipe.buffered -= take
+        self._wake_all(pipe.waiting_writers)
+        duration = self.config.syscall_overhead_ns + self.config.page_copy_ns(take)
+        return ReadResult(take), duration
+
+
+def _runs(sorted_values: List[int]) -> Iterable[Tuple[int, int]]:
+    """Collapse a sorted int list into (start, length) contiguous runs."""
+    start = None
+    length = 0
+    for value in sorted_values:
+        if start is not None and value == start + length:
+            length += 1
+        elif start is not None and value == start + length - 1:
+            continue  # duplicate
+        else:
+            if start is not None:
+                yield start, length
+            start = value
+            length = 1
+    if start is not None:
+        yield start, length
+
+
+class Oracle:
+    """Ground-truth inspection for tests and the experiment harness.
+
+    Nothing in :mod:`repro.icl`, :mod:`repro.toolbox`, or
+    :mod:`repro.apps` may import this — the whole point of the paper is
+    that the ICLs work without it.
+    """
+
+    def __init__(self, kernel: Kernel) -> None:
+        self._kernel = kernel
+
+    # --- filesystem ground truth --------------------------------------
+    def _inode_at(self, path: str) -> Tuple[FFS, Inode]:
+        parsed = PathName.parse(path)
+        fs, _disk_id = self._kernel.mounts.filesystem(parsed.mount)
+        ino = ROOT_INO
+        for component in parsed.components:
+            ino = fs.get_directory(ino).lookup(component)
+        return fs, fs.get_inode(ino)
+
+    def inode_of(self, path: str) -> Inode:
+        return self._inode_at(path)[1]
+
+    def file_blocks(self, path: str) -> List[int]:
+        """The file's true on-disk block addresses, in page order."""
+        return list(self._inode_at(path)[1].blocks)
+
+    def cached_file_pages(self, path: str) -> Set[int]:
+        """Which page indexes of the file are currently cached."""
+        fs, inode = self._inode_at(path)
+        mm = self._kernel.mm
+        return {
+            index
+            for index in range(len(inode.blocks))
+            if mm.file_cached(FileKey(fs.fs_id, inode.ino, index))
+        }
+
+    def cached_fraction(self, path: str) -> float:
+        fs, inode = self._inode_at(path)
+        total = inode.npages(self._kernel.config.page_size)
+        if total == 0:
+            return 0.0
+        return len(self.cached_file_pages(path)) / total
+
+    # --- memory ground truth -------------------------------------------
+    def resident_anon_pages(self, pid: int) -> int:
+        return self._kernel.mm.resident_anon_pages(pid)
+
+    def resident_anon_bytes(self, pid: int) -> int:
+        return self.resident_anon_pages(pid) * self._kernel.config.page_size
+
+    def file_pool_used_pages(self) -> int:
+        return self._kernel.mm.file_pool_used()
+
+    def daemon_stats(self):
+        return self._kernel.mm.daemon_stats
+
+    def swap_used_slots(self) -> int:
+        return self._kernel.mm.swap.used_slots
+
+    # --- experiment control ---------------------------------------------
+    def flush_file_cache(self) -> int:
+        """Drop every file/metadata page (dirty pages are discarded).
+
+        Models the paper's between-run "flush the file cache" step; it is
+        experiment setup, not something an ICL may call.
+        """
+        mm = self._kernel.mm
+        doomed = list(mm.file_keys())
+        for key in doomed:
+            mm.drop_file_page(key)
+        return len(doomed)
+
+    def advance_time(self, ns: int) -> None:
+        """Idle the machine forward (e.g. to cross an inode-time second)."""
+        self._kernel.clock.advance(ns)
+
+    def disk_stats(self, disk_index: int = 0):
+        return self._kernel.data_disk_list[disk_index].stats
+
+    def swap_disk_stats(self):
+        return self._kernel.swap_disk.stats

@@ -1,0 +1,6 @@
+"""Processes and the cooperative scheduler."""
+
+from repro.sim.proc.process import OpenFile, PipeBuffer, Process, ProcessState
+from repro.sim.proc.scheduler import Scheduler
+
+__all__ = ["OpenFile", "PipeBuffer", "Process", "ProcessState", "Scheduler"]

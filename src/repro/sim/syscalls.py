@@ -1,0 +1,216 @@
+"""The syscall interface — the *only* channel between processes and kernel.
+
+Application and ICL code is written as generator coroutines that yield
+:class:`Syscall` request objects and receive :class:`SyscallResult`
+objects back::
+
+    def app():
+        fd = (yield open("/mnt0/data")).value
+        result = yield pread(fd, offset=0, nbytes=1)
+        if result.elapsed_ns < threshold:      # gray-box inference!
+            ...
+
+Every result carries ``elapsed_ns`` — simulated wall-clock time the call
+took, including queueing behind other processes' I/O.  That is the covert
+channel of the paper: nothing else about kernel state is exposed.
+Sub-routines compose with ``yield from`` and can return values via
+``return`` (StopIteration), so ICL library calls look like
+``order = yield from fccd.best_order(paths)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Syscall:
+    """One kernel request: a name plus positional arguments."""
+
+    name: str
+    args: Tuple[Any, ...] = ()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"sys.{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class SyscallResult:
+    """What a yield returns: the value plus the simulated elapsed time."""
+
+    value: Any
+    elapsed_ns: int
+    start_ns: int
+    finish_ns: int
+
+    def __bool__(self) -> bool:  # pragma: no cover - guard against misuse
+        raise TypeError(
+            "SyscallResult is not a boolean; use .value (did you forget .value?)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# File and directory operations
+# ---------------------------------------------------------------------------
+def open_(path: str) -> Syscall:
+    """Open an existing file for reading/writing; returns an fd."""
+    return Syscall("open", (path,))
+
+
+# `open` shadows the builtin inside this module only; exported deliberately
+# so call sites read like UNIX: ``yield sc.open(path)``.
+open = open_  # noqa: A001
+
+
+def create(path: str) -> Syscall:
+    """Create a new regular file and open it; returns an fd."""
+    return Syscall("create", (path,))
+
+
+def close(fd: int) -> Syscall:
+    return Syscall("close", (fd,))
+
+
+def read(fd: int, nbytes: int) -> Syscall:
+    """Sequential read at the fd's current position; returns ReadResult."""
+    return Syscall("read", (fd, nbytes))
+
+
+def pread(fd: int, offset: int, nbytes: int) -> Syscall:
+    """Positional read; does not move the fd position; returns ReadResult."""
+    return Syscall("pread", (fd, offset, nbytes))
+
+
+def write(fd: int, data: Union[int, bytes]) -> Syscall:
+    """Sequential write; ``data`` is raw bytes or a synthetic byte count."""
+    return Syscall("write", (fd, data))
+
+
+def pwrite(fd: int, offset: int, data: Union[int, bytes]) -> Syscall:
+    return Syscall("pwrite", (fd, offset, data))
+
+
+def seek(fd: int, offset: int) -> Syscall:
+    """Set the fd position (absolute)."""
+    return Syscall("seek", (fd, offset))
+
+
+def fsync(fd: int) -> Syscall:
+    """Write back the file's dirty cached pages."""
+    return Syscall("fsync", (fd,))
+
+
+def stat(path: str) -> Syscall:
+    """Returns a StatResult — the i-number channel FLDC uses."""
+    return Syscall("stat", (path,))
+
+
+def fstat(fd: int) -> Syscall:
+    return Syscall("fstat", (fd,))
+
+
+def mkdir(path: str) -> Syscall:
+    return Syscall("mkdir", (path,))
+
+
+def rmdir(path: str) -> Syscall:
+    return Syscall("rmdir", (path,))
+
+
+def unlink(path: str) -> Syscall:
+    return Syscall("unlink", (path,))
+
+
+def rename(old: str, new: str) -> Syscall:
+    return Syscall("rename", (old, new))
+
+
+def readdir(path: str) -> Syscall:
+    """Returns entry names in on-disk order."""
+    return Syscall("readdir", (path,))
+
+
+def utimes(path: str, atime_s: int, mtime_s: int) -> Syscall:
+    """Set access/modification times (seconds), as the refresh step needs."""
+    return Syscall("utimes", (path, atime_s, mtime_s))
+
+
+# ---------------------------------------------------------------------------
+# Memory operations
+# ---------------------------------------------------------------------------
+def vm_alloc(nbytes: int, label: str = "") -> Syscall:
+    """Reserve address space; physical pages appear on first touch."""
+    return Syscall("vm_alloc", (nbytes, label))
+
+
+def vm_free(region_id: int) -> Syscall:
+    return Syscall("vm_free", (region_id,))
+
+
+def touch(region_id: int, page_index: int) -> Syscall:
+    """Write one byte in one page; the timing primitive MAC builds on."""
+    return Syscall("touch", (region_id, page_index))
+
+
+def touch_range(region_id: int, start_page: int, npages: int) -> Syscall:
+    """Touch pages in order; returns a list of per-page elapsed times."""
+    return Syscall("touch_range", (region_id, start_page, npages))
+
+
+# ---------------------------------------------------------------------------
+# Time and CPU
+# ---------------------------------------------------------------------------
+def gettime() -> Syscall:
+    """High-resolution timestamp (the toolbox's rdtsc equivalent)."""
+    return Syscall("gettime", ())
+
+
+def compute(ns: int) -> Syscall:
+    """Consume CPU for ``ns`` of work (contends for the machine's CPUs)."""
+    return Syscall("compute", (ns,))
+
+
+def sleep(ns: int) -> Syscall:
+    """Yield the CPU for at least ``ns``."""
+    return Syscall("sleep", (ns,))
+
+
+# ---------------------------------------------------------------------------
+# Processes and pipes
+# ---------------------------------------------------------------------------
+def spawn(generator, name: str = "") -> Syscall:
+    """Start a child process from a generator; returns its pid."""
+    return Syscall("spawn", (generator, name))
+
+
+def waitpid(pid: int) -> Syscall:
+    """Block until the child exits; returns its result value."""
+    return Syscall("waitpid", (pid,))
+
+
+def getpid() -> Syscall:
+    return Syscall("getpid", ())
+
+
+def pipe() -> Syscall:
+    """Create a pipe; returns (read_fd, write_fd)."""
+    return Syscall("pipe", ())
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """Result value of read/pread: length actually read plus optional bytes.
+
+    ``data`` is populated only for files written with real byte content;
+    synthetic (length-only) files return ``None`` — the workloads decide
+    which they need.
+    """
+
+    nbytes: int
+    data: Optional[bytes] = None
+
+    @property
+    def eof(self) -> bool:
+        return self.nbytes == 0

@@ -1,0 +1,133 @@
+"""Syscall tracing — the simulator's strace(1).
+
+A :class:`SyscallTrace` attaches to a kernel and records every executed
+syscall: which process, which call, the arguments, and the simulated
+elapsed time.  Useful for debugging ICL behaviour (e.g. inspecting the
+exact probe sequence FCCD issued) and in tests that assert *how* a layer
+interacted with the OS, not just the outcome.
+
+The trace sees the same boundary the process does: names, arguments,
+elapsed times.  It does not expose kernel internals.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One executed syscall."""
+
+    pid: int
+    process_name: str
+    syscall: str
+    args: Tuple[Any, ...]
+    start_ns: int
+    elapsed_ns: int
+
+    def __str__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return (
+            f"[{self.start_ns / 1e6:12.3f}ms] {self.process_name}: "
+            f"{self.syscall}({inner}) = {self.elapsed_ns}ns"
+        )
+
+
+class SyscallTrace:
+    """A bounded ring of trace records with simple query helpers.
+
+    Attach with :meth:`install`; detach with :meth:`remove`.  Multiple
+    traces may not be stacked on one kernel (keep it simple).
+    """
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity <= 0:
+            raise ValueError("trace capacity must be positive")
+        self.records: Deque[TraceRecord] = deque(maxlen=capacity)
+        self._kernel = None
+        self._original_execute: Optional[Callable] = None
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    def install(self, kernel) -> "SyscallTrace":
+        if self._kernel is not None:
+            raise RuntimeError("trace is already installed")
+        if getattr(kernel, "_trace", None) is not None:
+            raise RuntimeError("kernel already has a trace installed")
+        self._kernel = kernel
+        self._original_execute = kernel._execute
+        trace = self
+
+        def traced_execute(process, syscall):
+            start = kernel.clock.now
+            trace._original_execute(process, syscall)
+            finished = getattr(process, "retry_syscall", None) is None
+            if finished and process.pending_exception is None:
+                result = process.pending_value
+                elapsed = getattr(result, "elapsed_ns", 0)
+            else:
+                elapsed = 0
+            trace.records.append(
+                TraceRecord(
+                    pid=process.pid,
+                    process_name=process.name,
+                    syscall=syscall.name,
+                    args=syscall.args,
+                    start_ns=start,
+                    elapsed_ns=elapsed,
+                )
+            )
+
+        kernel._execute = traced_execute
+        kernel._trace = self
+        return self
+
+    def remove(self) -> None:
+        if self._kernel is None:
+            return
+        self._kernel._execute = self._original_execute
+        self._kernel._trace = None
+        self._kernel = None
+        self._original_execute = None
+
+    def __enter__(self) -> "SyscallTrace":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.remove()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def by_syscall(self, name: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.syscall == name]
+
+    def by_process(self, name: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.process_name == name]
+
+    def counts(self) -> Dict[str, int]:
+        """Syscall name -> invocation count."""
+        return dict(Counter(r.syscall for r in self.records))
+
+    def total_elapsed_ns(self, name: Optional[str] = None) -> int:
+        return sum(
+            r.elapsed_ns
+            for r in self.records
+            if name is None or r.syscall == name
+        )
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def tail(self, count: int = 20) -> List[TraceRecord]:
+        return list(self.records)[-count:]

@@ -1,0 +1,24 @@
+"""Virtual-memory subsystem: physical page pools, address spaces, swap.
+
+The :class:`~repro.sim.vm.physmem.MemoryManager` owns every physical
+page.  File pages and anonymous pages either share one replacement pool
+(unified personalities: linux22, solaris7) or live in separate pools
+(netbsd15's fixed buffer cache).  Eviction I/O is planned here and
+*performed* by the kernel, which charges it to the faulting process —
+that synchronous stall is the "slow data point" signal MAC detects.
+"""
+
+from repro.sim.vm.address_space import AddressSpace, Region
+from repro.sim.vm.pagedaemon import PageDaemonStats
+from repro.sim.vm.physmem import FaultKind, FaultResult, MemoryManager
+from repro.sim.vm.swap import SwapSpace
+
+__all__ = [
+    "AddressSpace",
+    "Region",
+    "FaultKind",
+    "FaultResult",
+    "MemoryManager",
+    "PageDaemonStats",
+    "SwapSpace",
+]

@@ -1,0 +1,74 @@
+"""Per-process virtual address spaces.
+
+A region is a contiguous run of virtual pages created by ``vm_alloc``.
+The address space tracks which pages have ever been written (so the
+first touch zero-fills and later touches either hit, or page in from
+swap); *residency itself* is tracked by the shared
+:class:`~repro.sim.vm.physmem.MemoryManager` pool, because that is where
+replacement competition happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Set
+
+from repro.sim.errors import InvalidArgument
+
+
+@dataclass
+class Region:
+    """One vm_alloc'd range: [base_page, base_page + npages)."""
+
+    region_id: int
+    base_page: int
+    npages: int
+    label: str = ""
+
+    def page_numbers(self) -> Iterator[int]:
+        return iter(range(self.base_page, self.base_page + self.npages))
+
+    def contains(self, page: int) -> bool:
+        return self.base_page <= page < self.base_page + self.npages
+
+
+class AddressSpace:
+    """Bump-allocated regions plus the touched-page set for one process."""
+
+    def __init__(self, pid: int) -> None:
+        self.pid = pid
+        self._next_region_id = 1
+        self._next_page = 0
+        self._regions: Dict[int, Region] = {}
+        # Pages that have been written at least once since allocation.
+        self.touched: Set[int] = set()
+
+    def allocate(self, npages: int, label: str = "") -> Region:
+        if npages <= 0:
+            raise InvalidArgument("vm_alloc needs a positive page count")
+        region = Region(self._next_region_id, self._next_page, npages, label)
+        self._regions[region.region_id] = region
+        self._next_region_id += 1
+        self._next_page += npages
+        return region
+
+    def free(self, region_id: int) -> Region:
+        region = self._regions.pop(region_id, None)
+        if region is None:
+            raise InvalidArgument(f"unknown region id {region_id}")
+        for page in region.page_numbers():
+            self.touched.discard(page)
+        return region
+
+    def region(self, region_id: int) -> Region:
+        region = self._regions.get(region_id)
+        if region is None:
+            raise InvalidArgument(f"unknown region id {region_id}")
+        return region
+
+    def regions(self) -> Iterator[Region]:
+        return iter(self._regions.values())
+
+    @property
+    def allocated_pages(self) -> int:
+        return sum(r.npages for r in self._regions.values())

@@ -1,0 +1,45 @@
+"""Page-daemon bookkeeping.
+
+The daemon logic itself (watermarks, batch reclaim) lives in
+:class:`~repro.sim.vm.physmem.MemoryManager`; this module holds the
+observable side: activation counters that the oracle and the experiment
+harness read, e.g. to assert that gb-fastsort "never exhibits paging
+activity" (§4.3.3) while the over-committed static sort does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PageDaemonStats:
+    """Counters for one memory pool's reclaim activity."""
+
+    activations: int = 0
+    pages_reclaimed: int = 0
+    file_pages_dropped: int = 0
+    file_pages_written: int = 0
+    anon_pages_swapped: int = 0
+    meta_pages_dropped: int = 0
+
+    def snapshot(self) -> "PageDaemonStats":
+        return PageDaemonStats(
+            self.activations,
+            self.pages_reclaimed,
+            self.file_pages_dropped,
+            self.file_pages_written,
+            self.anon_pages_swapped,
+            self.meta_pages_dropped,
+        )
+
+    def delta(self, earlier: "PageDaemonStats") -> "PageDaemonStats":
+        """Activity since ``earlier`` (a snapshot taken before a phase)."""
+        return PageDaemonStats(
+            self.activations - earlier.activations,
+            self.pages_reclaimed - earlier.pages_reclaimed,
+            self.file_pages_dropped - earlier.file_pages_dropped,
+            self.file_pages_written - earlier.file_pages_written,
+            self.anon_pages_swapped - earlier.anon_pages_swapped,
+            self.meta_pages_dropped - earlier.meta_pages_dropped,
+        )

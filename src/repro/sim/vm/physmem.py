@@ -1,0 +1,247 @@
+"""The memory manager: physical page pools shared by files and processes.
+
+Two pool arrangements exist, selected by the platform personality:
+
+* **unified** (linux22, solaris7): one replacement pool holds file data
+  pages, metadata pages, and anonymous pages.  A process growing its heap
+  steals from the file cache and vice versa — the contention fastsort
+  suffers from in Figure 3 and the property MAC relies on in §4.3.
+* **split** (netbsd15): file and metadata pages live in a fixed-size
+  buffer cache; anonymous pages get the remainder.
+
+The manager never performs I/O.  Faults and inserts return the list of
+victim pages that must be written back (anon pages get a swap slot
+assigned here); the kernel turns those into clustered disk writes and
+charges the faulting process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.sim.cache import make_policy
+from repro.sim.cache.base import AnonKey, CachePolicy, FileKey, MetaKey, PageEntry, PageKey
+from repro.sim.cache.lru import LRUPolicy
+from repro.sim.config import MachineConfig, PlatformSpec
+from repro.sim.errors import OutOfMemory
+from repro.sim.vm.pagedaemon import PageDaemonStats
+from repro.sim.vm.swap import SwapSpace
+
+
+class FaultKind(Enum):
+    """What servicing an anonymous-page touch required."""
+
+    RESIDENT = "resident"
+    ZERO_FILL = "zero_fill"
+    SWAP_IN = "swap_in"
+
+
+@dataclass
+class FaultResult:
+    """Outcome of an anonymous fault: its kind plus any eviction work."""
+
+    kind: FaultKind
+    evictions: List[PageEntry] = field(default_factory=list)
+    swapin_slot: Optional[int] = None
+
+
+class MemoryManager:
+    """Owns the page pools, swap space, and reclaim accounting."""
+
+    def __init__(
+        self, config: MachineConfig, platform: PlatformSpec, swap_capacity_pages: int
+    ) -> None:
+        self.config = config
+        self.platform = platform
+        self.swap = SwapSpace(swap_capacity_pages)
+        self.daemon_stats = PageDaemonStats()
+        self._anon_resident: Dict[int, int] = {}
+        self._dirty_file_pages = 0
+
+        total = config.available_pages
+        if platform.fixed_file_cache_bytes is not None:
+            file_pages = platform.fixed_file_cache_bytes // config.page_size
+            if not 0 < file_pages < total:
+                raise ValueError("fixed file cache must fit inside available memory")
+            self._file_pool: CachePolicy = make_policy(platform.cache_policy)
+            self._file_capacity = file_pages
+            self._anon_pool: CachePolicy = LRUPolicy()
+            self._anon_capacity = total - file_pages
+            self._unified = False
+        else:
+            pool = make_policy(platform.cache_policy)
+            self._file_pool = pool
+            self._anon_pool = pool
+            self._file_capacity = total
+            self._anon_capacity = total
+            self._unified = True
+
+    # ------------------------------------------------------------------
+    # Capacity / occupancy
+    # ------------------------------------------------------------------
+    @property
+    def unified(self) -> bool:
+        return self._unified
+
+    @property
+    def file_capacity_pages(self) -> int:
+        return self._file_capacity
+
+    def file_pool_used(self) -> int:
+        return len(self._file_pool)
+
+    def anon_pool_used(self) -> int:
+        return len(self._anon_pool)
+
+    def resident_anon_pages(self, pid: int) -> int:
+        return self._anon_resident.get(pid, 0)
+
+    # ------------------------------------------------------------------
+    # Reclaim (the page daemon)
+    # ------------------------------------------------------------------
+    def _reclaim(self, pool: CachePolicy, capacity: int, incoming: int) -> List[PageEntry]:
+        """Make room for ``incoming`` pages; returns victims needing disposal."""
+        shortfall = len(pool) + incoming - capacity
+        if shortfall <= 0:
+            return []
+        batch = max(shortfall, self.config.reclaim_batch_pages)
+        victims = pool.pop_victims(batch)
+        if len(victims) < shortfall:
+            # Pool cannot shrink enough: the machine is truly out of memory.
+            for entry in victims:
+                pool.touch(entry.key, entry.dirty)  # undo
+            raise OutOfMemory(
+                f"cannot reclaim {shortfall} pages (pool has {len(pool)})"
+            )
+        stats = self.daemon_stats
+        stats.activations += 1
+        stats.pages_reclaimed += len(victims)
+        for entry in victims:
+            key = entry.key
+            if isinstance(key, AnonKey):
+                stats.anon_pages_swapped += 1
+                self._anon_resident[key.pid] = self._anon_resident.get(key.pid, 1) - 1
+                self.swap.swap_out(key)
+            elif isinstance(key, FileKey):
+                if entry.dirty:
+                    stats.file_pages_written += 1
+                    self._dirty_file_pages -= 1
+                else:
+                    stats.file_pages_dropped += 1
+            elif isinstance(key, MetaKey):
+                if entry.dirty:
+                    self._dirty_file_pages -= 1
+                stats.meta_pages_dropped += 1
+        return victims
+
+    # ------------------------------------------------------------------
+    # File / metadata pages
+    # ------------------------------------------------------------------
+    def file_cached(self, key: PageKey) -> bool:
+        return self._file_pool.contains(key)
+
+    def touch_file(self, key: PageKey, dirty: bool = False) -> List[PageEntry]:
+        """Reference (inserting if absent) a file or metadata page.
+
+        Returns eviction work the caller must perform.  The caller is
+        responsible for any read I/O needed to *fill* the page; check
+        :meth:`file_cached` first to decide.
+        """
+        incoming = 0 if self._file_pool.contains(key) else 1
+        victims = self._reclaim(self._file_pool, self._file_capacity, incoming)
+        if dirty and not self._file_pool.is_dirty(key):
+            self._dirty_file_pages += 1
+        self._file_pool.touch(key, dirty)
+        return victims
+
+    def drop_file_page(self, key: PageKey) -> bool:
+        if self._file_pool.is_dirty(key):
+            self._dirty_file_pages -= 1
+        return self._file_pool.remove(key)
+
+    def mark_file_clean(self, key: PageKey) -> None:
+        if self._file_pool.is_dirty(key):
+            self._dirty_file_pages -= 1
+        self._file_pool.mark_clean(key)
+
+    @property
+    def dirty_file_pages(self) -> int:
+        return self._dirty_file_pages
+
+    def oldest_dirty_file_keys(self, count: int) -> List[PageKey]:
+        """The first ``count`` dirty file/meta pages in eviction order.
+
+        These are what the bdflush-style throttle writes back; callers
+        then invoke :meth:`writeback_complete` per key.
+        """
+        found: List[PageKey] = []
+        for key in self._file_pool.keys():
+            if isinstance(key, AnonKey):
+                continue
+            if self._file_pool.is_dirty(key):
+                found.append(key)
+                if len(found) >= count:
+                    break
+        return found
+
+    def writeback_complete(self, key: PageKey) -> None:
+        """Mark a flushed page clean and demote it to recycle first."""
+        self.mark_file_clean(key)
+        self._file_pool.demote(key)
+
+    def file_page_dirty(self, key: PageKey) -> bool:
+        return self._file_pool.is_dirty(key)
+
+    def file_keys(self) -> Iterator[PageKey]:
+        """All file/meta keys (oracle use).  In unified mode filters anon."""
+        for key in self._file_pool.keys():
+            if not isinstance(key, AnonKey):
+                yield key
+
+    def dirty_file_keys(self) -> List[PageKey]:
+        return [k for k in self.file_keys() if self._file_pool.is_dirty(k)]
+
+    # ------------------------------------------------------------------
+    # Anonymous pages
+    # ------------------------------------------------------------------
+    def anon_fault(self, key: AnonKey, touched_before: bool) -> FaultResult:
+        """Service a write to an anonymous page.
+
+        ``touched_before`` comes from the address space: an untouched page
+        zero-fills, a touched-but-nonresident page swaps in.
+        """
+        if self._anon_pool.contains(key):
+            self._anon_pool.touch(key, dirty=True)
+            return FaultResult(FaultKind.RESIDENT)
+
+        victims = self._reclaim(self._anon_pool, self._anon_capacity, 1)
+        self._anon_pool.touch(key, dirty=True)
+        self._anon_resident[key.pid] = self._anon_resident.get(key.pid, 0) + 1
+
+        if touched_before and self.swap.slot_of(key) is not None:
+            slot = self.swap.swap_in(key)
+            return FaultResult(FaultKind.SWAP_IN, victims, swapin_slot=slot)
+        return FaultResult(FaultKind.ZERO_FILL, victims)
+
+    def anon_resident(self, key: AnonKey) -> bool:
+        return self._anon_pool.contains(key)
+
+    def free_anon_pages(self, pid: int, keys: List[AnonKey]) -> int:
+        """Release pages on vm_free/exit; returns pages actually resident."""
+        freed = 0
+        for key in keys:
+            if self._anon_pool.remove(key):
+                freed += 1
+            self.swap.discard(key)
+        if freed:
+            self._anon_resident[pid] = self._anon_resident.get(pid, freed) - freed
+        return freed
+
+    def release_process(self, pid: int, keys: List[AnonKey]) -> None:
+        """Drop every page of an exiting process."""
+        for key in keys:
+            self._anon_pool.remove(key)
+        self.swap.discard_process(pid)
+        self._anon_resident.pop(pid, None)

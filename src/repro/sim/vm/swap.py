@@ -1,0 +1,75 @@
+"""Swap-space slot accounting on the dedicated paging disk."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional
+
+from repro.sim.cache.base import AnonKey
+from repro.sim.errors import OutOfMemory
+
+
+class SwapSpace:
+    """Allocates swap slots (one page each) on the swap disk.
+
+    Slots are handed out lowest-first so pages evicted together land on
+    contiguous disk blocks, which lets the kernel cluster the writeback
+    into one large I/O — the behaviour that makes page-daemon activity
+    visible as a few big stalls rather than uniform slowness.
+    """
+
+    def __init__(self, capacity_pages: int) -> None:
+        if capacity_pages <= 0:
+            raise ValueError("swap space needs at least one page")
+        self.capacity_pages = capacity_pages
+        self._next_fresh = 0
+        self._free: List[int] = []
+        self._slot_of: Dict[AnonKey, int] = {}
+
+    @property
+    def used_slots(self) -> int:
+        return len(self._slot_of)
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity_pages - self._next_fresh + len(self._free)
+
+    def slot_of(self, key: AnonKey) -> Optional[int]:
+        """Swap slot holding ``key``, or None if the page is not swapped."""
+        return self._slot_of.get(key)
+
+    def swap_out(self, key: AnonKey) -> int:
+        """Assign a slot for an evicted anonymous page; returns the slot."""
+        existing = self._slot_of.get(key)
+        if existing is not None:
+            return existing
+        if self._free:
+            slot = heapq.heappop(self._free)
+        elif self._next_fresh < self.capacity_pages:
+            slot = self._next_fresh
+            self._next_fresh += 1
+        else:
+            raise OutOfMemory("swap space exhausted")
+        self._slot_of[key] = slot
+        return slot
+
+    def swap_in(self, key: AnonKey) -> int:
+        """Release the slot for a page being brought back; returns the slot."""
+        slot = self._slot_of.pop(key, None)
+        if slot is None:
+            raise KeyError(f"{key} is not swapped out")
+        heapq.heappush(self._free, slot)
+        return slot
+
+    def discard(self, key: AnonKey) -> None:
+        """Free a slot for a page whose process freed or exited (no I/O)."""
+        slot = self._slot_of.pop(key, None)
+        if slot is not None:
+            heapq.heappush(self._free, slot)
+
+    def discard_process(self, pid: int) -> int:
+        """Free every slot belonging to ``pid``; returns slots freed."""
+        doomed = [key for key in self._slot_of if key.pid == pid]
+        for key in doomed:
+            self.discard(key)
+        return len(doomed)

@@ -1,0 +1,43 @@
+"""The "gray toolbox" (§5): shared utilities for building gray-box ICLs.
+
+* :mod:`timers` — low-overhead timestamps over the gettime channel;
+* :mod:`stats` — incremental statistics, correlation, regression, the
+  paired-sample sign test (the routines Table 1's systems use);
+* :mod:`cluster` — two-means clustering for in-cache/on-disk separation;
+* :mod:`outliers` — sigma-clip and MAD rejection of noisy observations;
+* :mod:`microbench` — configuration microbenchmarks (run once on a
+  dedicated machine) whose results are shared through
+* :mod:`repository` — the persistent common parameter repository.
+
+Everything here observes the kernel *only* through syscalls.
+"""
+
+from repro.toolbox.cluster import ClusterSplit, two_means
+from repro.toolbox.outliers import mad_clip, sigma_clip
+from repro.toolbox.repository import ParameterRepository
+from repro.toolbox.stats import (
+    OnlineStats,
+    SampleStats,
+    exponential_average,
+    linear_regression,
+    pearson_correlation,
+    sign_test,
+)
+from repro.toolbox.timers import Stopwatch, now, time_call
+
+__all__ = [
+    "ClusterSplit",
+    "two_means",
+    "mad_clip",
+    "sigma_clip",
+    "ParameterRepository",
+    "OnlineStats",
+    "SampleStats",
+    "exponential_average",
+    "linear_regression",
+    "pearson_correlation",
+    "sign_test",
+    "Stopwatch",
+    "now",
+    "time_call",
+]

@@ -1,0 +1,100 @@
+"""Two-group clustering of probe times (§4.2.4).
+
+The FCCD∘FLDC composition needs to "reliably discern between in-cache
+and out-of-cache files" by clustering probe times "into two groups,
+minimizing the intragroup variance and maximizing the intergroup
+variance; given that we form only two clusters, the clustering algorithm
+is quite fast."
+
+For one-dimensional data the optimal two-means split is a threshold on
+the sorted values, so we compute it exactly in O(n log n) with prefix
+sums rather than iterating Lloyd's algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ClusterSplit:
+    """Result of a two-means split of 1-D observations."""
+
+    # Indices (into the original sequence) of members of each group.
+    low_group: Tuple[int, ...]
+    high_group: Tuple[int, ...]
+    low_center: float
+    high_center: float
+    threshold: float
+    # Total within-group sum of squares at the chosen split.
+    within_ss: float
+
+    @property
+    def separation(self) -> float:
+        """Gap between centers; ~0 means the data is effectively one group."""
+        return self.high_center - self.low_center
+
+
+def two_means(values: Sequence[float]) -> ClusterSplit:
+    """Exact optimal 1-D two-means split.
+
+    Degenerate inputs (fewer than 2 values, or all values equal) put
+    everything in the low group — callers treat that as "no evidence of
+    two populations" (e.g. all files on disk).
+    """
+    n = len(values)
+    if n == 0:
+        raise ValueError("cannot cluster zero observations")
+    order = sorted(range(n), key=values.__getitem__)
+    ordered = [values[i] for i in order]
+    if n == 1 or ordered[0] == ordered[-1]:
+        center = sum(ordered) / n
+        return ClusterSplit(
+            low_group=tuple(order),
+            high_group=(),
+            low_center=center,
+            high_center=center,
+            threshold=ordered[-1],
+            within_ss=_ss(ordered),
+        )
+
+    prefix = [0.0]
+    prefix_sq = [0.0]
+    for value in ordered:
+        prefix.append(prefix[-1] + value)
+        prefix_sq.append(prefix_sq[-1] + value * value)
+
+    def group_ss(lo: int, hi: int) -> float:
+        """Within-SS of ordered[lo:hi]."""
+        count = hi - lo
+        total = prefix[hi] - prefix[lo]
+        total_sq = prefix_sq[hi] - prefix_sq[lo]
+        return total_sq - total * total / count
+
+    best_cut = 1
+    best_ss = float("inf")
+    for cut in range(1, n):
+        ss = group_ss(0, cut) + group_ss(cut, n)
+        if ss < best_ss:
+            best_ss = ss
+            best_cut = cut
+
+    low_idx = tuple(order[:best_cut])
+    high_idx = tuple(order[best_cut:])
+    low_center = (prefix[best_cut] - prefix[0]) / best_cut
+    high_center = (prefix[n] - prefix[best_cut]) / (n - best_cut)
+    threshold = (ordered[best_cut - 1] + ordered[best_cut]) / 2.0
+    return ClusterSplit(
+        low_group=low_idx,
+        high_group=high_idx,
+        low_center=low_center,
+        high_center=high_center,
+        threshold=threshold,
+        within_ss=best_ss,
+    )
+
+
+def _ss(ordered: List[float]) -> float:
+    mean = sum(ordered) / len(ordered)
+    return sum((v - mean) ** 2 for v in ordered)

@@ -1,0 +1,67 @@
+"""Outlier rejection ("discarding outliers", §5).
+
+Timed observations pick up scheduling noise — a probe that happened to
+queue behind another process's disk I/O looks slow for reasons unrelated
+to cache state.  Two standard filters are provided; MAD is preferred for
+latency data because the latency distribution is heavy-tailed and the
+median is robust to exactly the contamination being removed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def sigma_clip(values: Sequence[float], nsigma: float = 3.0) -> List[float]:
+    """Keep values within ``nsigma`` standard deviations of the mean."""
+    if nsigma <= 0:
+        raise ValueError("nsigma must be positive")
+    n = len(values)
+    if n < 3:
+        return list(values)
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    if var == 0.0:
+        return list(values)
+    bound = nsigma * var**0.5
+    return [v for v in values if abs(v - mean) <= bound]
+
+
+def mad_clip(values: Sequence[float], nmads: float = 5.0) -> List[float]:
+    """Keep values within ``nmads`` median-absolute-deviations of the median."""
+    if nmads <= 0:
+        raise ValueError("nmads must be positive")
+    n = len(values)
+    if n < 3:
+        return list(values)
+    med = _median(values)
+    deviations = [abs(v - med) for v in values]
+    mad = _median(deviations)
+    if mad == 0.0:
+        # More than half the values are identical; keep those plus any
+        # exact matches and drop nothing else blindly.
+        return list(values)
+    return [v for v in values if abs(v - med) <= nmads * mad]
+
+
+def split_by_threshold(
+    values: Sequence[float], threshold: float
+) -> Tuple[List[int], List[int]]:
+    """Partition indices into (at-or-below, above) a threshold.
+
+    The simple fixed-threshold differentiator the paper *rejects* for
+    FCCD (§4.1.2) in favour of sorting — kept for the ablation benchmark
+    that quantifies why.
+    """
+    low = [i for i, v in enumerate(values) if v <= threshold]
+    high = [i for i, v in enumerate(values) if v > threshold]
+    return low, high
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0

@@ -1,0 +1,20 @@
+"""Workload generators: file trees, aging churn, synthetic text/records."""
+
+from repro.workloads.files import (
+    age_directory,
+    create_files,
+    make_file,
+    populate_directory,
+)
+from repro.workloads.text import make_text_with_matches
+from repro.workloads.records import make_record_blob, record_count
+
+__all__ = [
+    "age_directory",
+    "create_files",
+    "make_file",
+    "populate_directory",
+    "make_text_with_matches",
+    "make_record_blob",
+    "record_count",
+]

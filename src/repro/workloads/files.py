@@ -1,0 +1,107 @@
+"""File-tree builders and the aging churn used by Figure 6.
+
+All builders are generator processes; the experiment harness runs them
+on a fresh kernel before the measured phase begins.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, List, Optional, Sequence, Union
+
+from repro.sim import syscalls as sc
+
+MIB = 1024 * 1024
+WRITE_CHUNK = 8 * MIB
+
+
+def make_file(path: str, content: Union[int, bytes], sync: bool = True) -> Generator:
+    """Create one file with synthetic (int length) or real (bytes) content."""
+    fd = (yield sc.create(path)).value
+    try:
+        if isinstance(content, (bytes, bytearray)):
+            done = 0
+            while done < len(content):
+                done += (yield sc.write(fd, content[done : done + WRITE_CHUNK])).value
+        else:
+            remaining = int(content)
+            while remaining > 0:
+                chunk = min(remaining, WRITE_CHUNK)
+                yield sc.write(fd, chunk)
+                remaining -= chunk
+        if sync:
+            yield sc.fsync(fd)
+    finally:
+        yield sc.close(fd)
+    return path
+
+
+def create_files(
+    directory: str,
+    count: int,
+    size: Union[int, Sequence[int]],
+    name_format: str = "f{index:04d}",
+    sync: bool = True,
+    names: Optional[Sequence[str]] = None,
+) -> Generator:
+    """Create ``count`` files in an existing directory; returns their paths.
+
+    ``size`` is one length for all files or a per-file sequence.  Pass
+    explicit ``names`` when lexical order must differ from creation
+    order (real directories rarely have names that sort by age — and an
+    experiment that leaves them correlated accidentally hands the
+    directory-sort heuristic the i-number ordering for free).
+    """
+    sizes = [size] * count if isinstance(size, int) else list(size)
+    if len(sizes) != count:
+        raise ValueError("need one size per file")
+    if names is not None and len(names) != count:
+        raise ValueError("need one name per file")
+    paths: List[str] = []
+    for index in range(count):
+        name = names[index] if names is not None else name_format.format(index=index)
+        path = f"{directory}/{name}"
+        yield from make_file(path, sizes[index], sync=sync)
+        paths.append(path)
+    return paths
+
+
+def populate_directory(
+    directory: str,
+    count: int,
+    size: Union[int, Sequence[int]],
+    name_format: str = "f{index:04d}",
+) -> Generator:
+    """mkdir + create_files in one step; returns the file paths."""
+    yield sc.mkdir(directory)
+    paths = yield from create_files(directory, count, size, name_format)
+    return paths
+
+
+def age_directory(
+    directory: str,
+    epochs: int,
+    rng: random.Random,
+    deletes_per_epoch: int = 5,
+    creates_per_epoch: int = 5,
+    create_size: int = 8 * 1024,
+) -> Generator:
+    """The paper's aging churn: per epoch, delete N random files, create N.
+
+    Returns the number of epochs applied.  New file names draw from the
+    rng so repeated calls against the same directory never collide, and
+    the population stays constant when deletes == creates.
+    """
+    for _epoch in range(epochs):
+        names = set((yield sc.readdir(directory)).value)
+        doomed = rng.sample(sorted(names), min(deletes_per_epoch, len(names)))
+        for name in doomed:
+            yield sc.unlink(f"{directory}/{name}")
+            names.discard(name)
+        for _j in range(creates_per_epoch):
+            name = f"age{rng.randrange(10**9):09d}"
+            while name in names:
+                name = f"age{rng.randrange(10**9):09d}"
+            names.add(name)
+            yield from make_file(f"{directory}/{name}", create_size, sync=False)
+    return epochs

@@ -1,0 +1,43 @@
+"""Sort-record workloads (fastsort's 100-byte records)."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.apps.fastsort import RECORD_BYTES
+
+
+def make_record_blob(
+    nrecords: int, key_bytes: int = 10, rng: Optional[random.Random] = None
+) -> bytes:
+    """Real 100-byte records with random keys (for correctness tests).
+
+    Layout mirrors the sort benchmark convention: a ``key_bytes`` random
+    key followed by a filler payload that encodes the record's original
+    position (so tests can verify stability and completeness).
+    """
+    rng = rng or random.Random(0x5027)
+    records = []
+    payload_len = RECORD_BYTES - key_bytes
+    for index in range(nrecords):
+        key = bytes(rng.randrange(33, 127) for _ in range(key_bytes))
+        payload = (b"%09d" % index).ljust(payload_len, b".")
+        records.append(key + payload[:payload_len])
+    return b"".join(records)
+
+
+def record_count(nbytes: int) -> int:
+    """How many whole records fit in ``nbytes``."""
+    return nbytes // RECORD_BYTES
+
+
+def is_sorted_records(blob: bytes, key_bytes: int = 10) -> bool:
+    """True if the blob's records are in non-decreasing key order."""
+    previous = None
+    for offset in range(0, len(blob) - len(blob) % RECORD_BYTES, RECORD_BYTES):
+        key = blob[offset : offset + key_bytes]
+        if previous is not None and key < previous:
+            return False
+        previous = key
+    return True

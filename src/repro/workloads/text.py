@@ -1,0 +1,61 @@
+"""Synthetic text content with known match positions.
+
+Small-scale correctness tests use real bytes so grep/search actually
+find things; large benchmark files stay synthetic (length-only).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+_WORDS = (
+    b"gray", b"box", b"cache", b"probe", b"inode", b"layout", b"page",
+    b"daemon", b"kernel", b"layer", b"stat", b"disk", b"sort", b"scan",
+)
+
+
+def make_text(nbytes: int, rng: Optional[random.Random] = None) -> bytes:
+    """Deterministic filler text of exactly ``nbytes``."""
+    rng = rng or random.Random(0x7E47)
+    pieces: List[bytes] = []
+    size = 0
+    while size < nbytes:
+        word = _WORDS[rng.randrange(len(_WORDS))]
+        pieces.append(word)
+        pieces.append(b" ")
+        size += len(word) + 1
+    blob = b"".join(pieces)
+    return blob[:nbytes]
+
+
+def make_text_with_matches(
+    nbytes: int,
+    pattern: bytes,
+    match_offsets: Sequence[int],
+    rng: Optional[random.Random] = None,
+) -> bytes:
+    """Filler text with ``pattern`` planted at each given offset.
+
+    Offsets must leave room for the whole pattern and must not overlap;
+    the filler itself is guaranteed not to contain the pattern as long
+    as the pattern is not made of the filler words.
+    """
+    if not pattern:
+        raise ValueError("pattern must be non-empty")
+    blob = bytearray(make_text(nbytes, rng))
+    placed: List[Tuple[int, int]] = []
+    for offset in sorted(match_offsets):
+        end = offset + len(pattern)
+        if not (0 <= offset and end <= nbytes):
+            raise ValueError(f"match at {offset} does not fit in {nbytes} bytes")
+        if placed and offset < placed[-1][1]:
+            raise ValueError(f"match at {offset} overlaps the previous one")
+        blob[offset:end] = pattern
+        placed.append((offset, end))
+    return bytes(blob)
+
+
+def count_matches(blob: bytes, pattern: bytes) -> int:
+    """Non-overlapping occurrence count (what grep -c of one line ~ does)."""
+    return blob.count(pattern)

@@ -1,0 +1,45 @@
+"""Shared fixtures: small machines and generator-process helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Kernel, MachineConfig, linux22, netbsd15, solaris7
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+def small_config(**overrides) -> MachineConfig:
+    """A 32 MB-available machine with 4 KiB pages — fast to simulate."""
+    params = dict(
+        page_size=4 * KIB,
+        memory_bytes=40 * MIB,
+        kernel_reserved_bytes=8 * MIB,
+        data_disks=1,
+    )
+    params.update(overrides)
+    return MachineConfig(**params)
+
+
+@pytest.fixture
+def config() -> MachineConfig:
+    return small_config()
+
+
+@pytest.fixture
+def kernel(config) -> Kernel:
+    return Kernel(config)
+
+
+@pytest.fixture(params=["linux22", "netbsd15", "solaris7"])
+def any_platform_kernel(request, config) -> Kernel:
+    platform = {"linux22": linux22, "netbsd15": netbsd15, "solaris7": solaris7}[
+        request.param
+    ]
+    return Kernel(config, platform=platform)
+
+
+def run(kernel: Kernel, gen, name: str = "test"):
+    """Run one generator process to completion and return its result."""
+    return kernel.run_process(gen, name)

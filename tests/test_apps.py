@@ -1,0 +1,299 @@
+"""Applications: scan, grep, search, fastsort — correctness and behaviour."""
+
+import random
+
+import pytest
+
+from repro.apps.fastsort import (
+    RECORD_BYTES,
+    fastsort_read_phase,
+    fccd_fastsort_read_phase,
+    gb_fastsort_read_phase,
+    merge_runs,
+    set_static_buffer_page,
+)
+from repro.apps.grep import gb_grep, gbp_grep, grep
+from repro.apps.scan import gray_scan, linear_scan, multi_file_scan
+from repro.apps.search import gb_search, search
+from repro.icl.fccd import FCCD
+from repro.icl.mac import MAC
+from repro.sim import Kernel, syscalls as sc
+from repro.workloads.files import make_file
+from repro.workloads.records import is_sorted_records, make_record_blob
+from repro.workloads.text import make_text_with_matches
+from tests.conftest import KIB, MIB, small_config
+
+
+@pytest.fixture(autouse=True)
+def _page(kernel):
+    set_static_buffer_page(kernel.config.page_size)
+
+
+def fccd_small():
+    return FCCD(
+        rng=random.Random(3), access_unit_bytes=2 * MIB, prediction_unit_bytes=512 * KIB
+    )
+
+
+class TestScan:
+    def test_linear_scan_reads_everything(self, kernel):
+        kernel.run_process(make_file("/mnt0/f", 5 * MIB), "setup")
+
+        def app():
+            return (yield from linear_scan("/mnt0/f"))
+        report = kernel.run_process(app(), "scan")
+        assert report.bytes_read == 5 * MIB
+        assert report.bandwidth_bytes_per_s > 0
+
+    def test_gray_scan_reads_everything_too(self, kernel):
+        kernel.run_process(make_file("/mnt0/f", 5 * MIB), "setup")
+
+        def app():
+            return (yield from gray_scan("/mnt0/f", fccd_small()))
+        report = kernel.run_process(app(), "scan")
+        assert report.bytes_read == 5 * MIB
+        assert report.probe_ns > 0
+
+    def test_gray_scan_beats_linear_on_repeated_runs(self):
+        """The Figure 2 comparison at test scale: steady-state warm runs."""
+        kernel = Kernel(small_config(memory_bytes=20 * MIB, kernel_reserved_bytes=8 * MIB))
+        kernel.run_process(make_file("/mnt0/f", 20 * MIB), "setup")
+
+        def measure(factory):
+            return kernel.run_process(factory(), "scan").elapsed_ns
+        measure(lambda: linear_scan("/mnt0/f"))  # settle
+        linear_ns = measure(lambda: linear_scan("/mnt0/f"))
+        measure(lambda: gray_scan("/mnt0/f", fccd_small()))  # settle
+        gray_ns = measure(lambda: gray_scan("/mnt0/f", fccd_small()))
+        assert gray_ns < 0.8 * linear_ns
+
+    def test_multi_file_scan(self, kernel):
+        paths = []
+        for i in range(3):
+            kernel.run_process(make_file(f"/mnt0/f{i}", MIB), "setup")
+            paths.append(f"/mnt0/f{i}")
+
+        def app():
+            return (yield from multi_file_scan(paths))
+        report = kernel.run_process(app(), "scan")
+        assert report.bytes_read == 3 * MIB
+
+
+class TestGrep:
+    def test_counts_real_matches(self, kernel):
+        text = make_text_with_matches(256 * KIB, b"NEEDLE", [100, 5000, 200_000])
+        kernel.run_process(make_file("/mnt0/f", text), "setup")
+
+        def app():
+            return (yield from grep(["/mnt0/f"], pattern=b"NEEDLE"))
+        report = kernel.run_process(app(), "grep")
+        assert report.matches == 3
+        assert report.bytes_scanned == 256 * KIB
+
+    def test_finds_match_straddling_read_boundary(self, kernel):
+        unit = 64 * KIB
+        text = make_text_with_matches(2 * unit, b"XSPANX", [unit - 3])
+        kernel.run_process(make_file("/mnt0/f", text), "setup")
+
+        def app():
+            return (yield from grep(["/mnt0/f"], pattern=b"XSPANX", unit=unit))
+        report = kernel.run_process(app(), "grep")
+        assert report.matches == 1
+
+    def test_gb_grep_same_matches_different_order(self, kernel):
+        paths = []
+        for i in range(4):
+            text = make_text_with_matches(128 * KIB, b"PAT", [10 + i])
+            kernel.run_process(make_file(f"/mnt0/f{i}", text), "setup")
+            paths.append(f"/mnt0/f{i}")
+        kernel.oracle.flush_file_cache()
+
+        def warm():
+            fd = (yield sc.open(paths[2])).value
+            yield sc.pread(fd, 0, 128 * KIB)
+            yield sc.close(fd)
+        kernel.run_process(warm(), "warm")
+
+        def app():
+            return (yield from gb_grep(paths, pattern=b"PAT", fccd=fccd_small()))
+        report = kernel.run_process(app(), "grep")
+        assert report.matches == 4
+        assert report.paths[0] == paths[2]  # cached file visited first
+
+    def test_gbp_grep_matches_gb_grep_results(self, kernel):
+        paths = []
+        for i in range(3):
+            text = make_text_with_matches(128 * KIB, b"PAT", [50])
+            kernel.run_process(make_file(f"/mnt0/f{i}", text), "setup")
+            paths.append(f"/mnt0/f{i}")
+
+        def app():
+            return (yield from gbp_grep(paths, pattern=b"PAT", fccd=fccd_small()))
+        report = kernel.run_process(app(), "grep")
+        assert report.matches == 3
+
+
+class TestSearch:
+    def test_stops_at_first_match(self, kernel):
+        paths = []
+        for i in range(5):
+            content = (
+                make_text_with_matches(64 * KIB, b"HIT", [1000])
+                if i == 2
+                else 64 * KIB
+            )
+            kernel.run_process(make_file(f"/mnt0/f{i}", content), "setup")
+            paths.append(f"/mnt0/f{i}")
+
+        def app():
+            return (yield from search(paths, pattern=b"HIT"))
+        report = kernel.run_process(app(), "search")
+        assert report.found_in == paths[2]
+        assert report.visited == paths[:3]
+
+    def test_synthetic_match_path(self, kernel):
+        paths = []
+        for i in range(4):
+            kernel.run_process(make_file(f"/mnt0/f{i}", 64 * KIB), "setup")
+            paths.append(f"/mnt0/f{i}")
+
+        def app():
+            return (yield from search(paths, match_path=paths[1]))
+        report = kernel.run_process(app(), "search")
+        assert report.found_in == paths[1]
+        assert report.visited == paths[:2]
+
+    def test_gb_search_visits_cached_match_early(self, kernel):
+        paths = []
+        for i in range(6):
+            kernel.run_process(make_file(f"/mnt0/f{i}", 256 * KIB), "setup")
+            paths.append(f"/mnt0/f{i}")
+        kernel.oracle.flush_file_cache()
+        match = paths[-1]
+
+        def warm():
+            fd = (yield sc.open(match)).value
+            yield sc.pread(fd, 0, 256 * KIB)
+            yield sc.close(fd)
+        kernel.run_process(warm(), "warm")
+
+        def unmodified():
+            return (yield from search(paths, match_path=match))
+        def gray():
+            return (yield from gb_search(paths, match_path=match, fccd=fccd_small()))
+        slow = kernel.run_process(unmodified(), "search")
+        # Reset to the same initial state: only the match file cached.
+        kernel.oracle.flush_file_cache()
+        kernel.run_process(warm(), "rewarm")
+        fast = kernel.run_process(gray(), "gb-search")
+        assert fast.found_in == match
+        assert len(fast.visited) == 1
+        assert fast.elapsed_ns < slow.elapsed_ns / 2
+
+
+class TestFastsort:
+    def _write_records(self, kernel, path, nrecords):
+        blob = make_record_blob(nrecords, rng=random.Random(1))
+        kernel.run_process(make_file(path, blob), "setup")
+        return blob
+
+    def test_sorts_real_records(self, kernel):
+        self._write_records(kernel, "/mnt0/in", 3000)
+
+        def setup():
+            yield sc.mkdir("/mnt0/runs")
+        kernel.run_process(setup(), "mkdir")
+
+        def app():
+            return (
+                yield from fastsort_read_phase(
+                    "/mnt0/in", "/mnt0/runs", pass_bytes=1000 * RECORD_BYTES
+                )
+            )
+        report = kernel.run_process(app(), "sort")
+        assert report.records == 3000
+        assert len(report.run_paths) == 3
+        assert report.pass_bytes == [1000 * RECORD_BYTES] * 3
+
+        def check_runs():
+            sorted_flags = []
+            for path in report.run_paths:
+                fd = (yield sc.open(path)).value
+                data = (yield sc.pread(fd, 0, 1000 * RECORD_BYTES)).value.data
+                yield sc.close(fd)
+                sorted_flags.append(is_sorted_records(data))
+            return sorted_flags
+        assert all(kernel.run_process(check_runs(), "check"))
+
+    def test_merge_produces_single_sorted_output(self, kernel):
+        self._write_records(kernel, "/mnt0/in", 1200)
+
+        def setup():
+            yield sc.mkdir("/mnt0/runs")
+        kernel.run_process(setup(), "mkdir")
+
+        def phase1():
+            return (
+                yield from fastsort_read_phase(
+                    "/mnt0/in", "/mnt0/runs", pass_bytes=400 * RECORD_BYTES
+                )
+            )
+        report = kernel.run_process(phase1(), "sort")
+
+        def phase2():
+            return (yield from merge_runs(report.run_paths, "/mnt0/out"))
+        total = kernel.run_process(phase2(), "merge")
+        assert total == 1200 * RECORD_BYTES
+
+        def check():
+            fd = (yield sc.open("/mnt0/out")).value
+            data = (yield sc.pread(fd, 0, 1200 * RECORD_BYTES)).value.data
+            yield sc.close(fd)
+            return data
+        data = kernel.run_process(check(), "check")
+        assert len(data) == 1200 * RECORD_BYTES
+        assert is_sorted_records(data)
+
+    def test_fccd_variant_preserves_record_count(self, kernel):
+        self._write_records(kernel, "/mnt0/in", 2000)
+
+        def setup():
+            yield sc.mkdir("/mnt0/runs")
+        kernel.run_process(setup(), "mkdir")
+
+        def app():
+            return (
+                yield from fccd_fastsort_read_phase(
+                    "/mnt0/in", "/mnt0/runs", 800 * RECORD_BYTES, fccd_small()
+                )
+            )
+        report = kernel.run_process(app(), "sort")
+        assert report.records == 2000
+
+    def test_gb_fastsort_adapts_and_completes(self, kernel):
+        def setup():
+            yield sc.mkdir("/mnt0/runs")
+            yield from make_file("/mnt0/in", 8 * MIB - (8 * MIB) % RECORD_BYTES)
+        kernel.run_process(setup(), "setup")
+        mac = MAC(
+            page_size=kernel.config.page_size,
+            initial_increment_bytes=512 * KIB,
+            max_increment_bytes=2 * MIB,
+        )
+
+        def app():
+            return (
+                yield from gb_fastsort_read_phase(
+                    "/mnt0/in", "/mnt0/runs", mac, min_pass_bytes=512 * KIB
+                )
+            )
+        report = kernel.run_process(app(), "sort")
+        assert sum(report.pass_bytes) == 8 * MIB - (8 * MIB) % RECORD_BYTES
+        assert report.mac_probe_ns > 0
+        assert mac.stats.grants == len(report.pass_bytes)
+
+    def test_rejects_tiny_pass(self, kernel):
+        def app():
+            yield from fastsort_read_phase("/mnt0/in", "/mnt0/runs", pass_bytes=50)
+        with pytest.raises(ValueError):
+            kernel.run_process(app(), "sort")

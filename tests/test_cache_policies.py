@@ -1,0 +1,261 @@
+"""Replacement-policy behaviour, including property tests against LRU."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.cache import POLICIES, make_policy
+from repro.sim.cache.base import AnonKey, FileKey, MetaKey
+from repro.sim.cache.clockpolicy import ClockPolicy
+from repro.sim.cache.lru import LRUPolicy
+from repro.sim.cache.segmap import SegmapPolicy
+
+
+def fkey(i: int, ino: int = 1) -> FileKey:
+    return FileKey(0, ino, i)
+
+
+def akey(i: int, pid: int = 1) -> AnonKey:
+    return AnonKey(pid, i)
+
+
+class TestRegistry:
+    def test_three_policies_registered(self):
+        assert set(POLICIES) == {"lru", "clock", "segmap"}
+
+    @pytest.mark.parametrize("name", ["lru", "clock", "segmap"])
+    def test_make_policy(self, name):
+        policy = make_policy(name)
+        policy.touch(fkey(0))
+        assert policy.contains(fkey(0))
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError):
+            make_policy("mru")
+
+
+@pytest.mark.parametrize("name", ["lru", "clock", "segmap"])
+class TestCommonContract:
+    def test_insert_then_contains(self, name):
+        policy = make_policy(name)
+        policy.touch(fkey(3))
+        assert policy.contains(fkey(3))
+        assert not policy.contains(fkey(4))
+
+    def test_len_counts_pages(self, name):
+        policy = make_policy(name)
+        for i in range(5):
+            policy.touch(fkey(i))
+        policy.touch(fkey(2))  # re-touch must not double count
+        assert len(policy) == 5
+
+    def test_remove(self, name):
+        policy = make_policy(name)
+        policy.touch(fkey(1))
+        assert policy.remove(fkey(1))
+        assert not policy.contains(fkey(1))
+        assert not policy.remove(fkey(1))
+
+    def test_dirty_bit_sticks_until_cleaned(self, name):
+        policy = make_policy(name)
+        policy.touch(fkey(1), dirty=True)
+        policy.touch(fkey(1), dirty=False)  # re-read keeps it dirty
+        assert policy.is_dirty(fkey(1))
+        policy.mark_clean(fkey(1))
+        assert not policy.is_dirty(fkey(1))
+
+    def test_pop_victims_drains_everything(self, name):
+        policy = make_policy(name)
+        for i in range(10):
+            policy.touch(fkey(i))
+        victims = policy.pop_victims(100)
+        assert len(victims) == 10
+        assert len(policy) == 0
+
+    def test_victims_carry_dirty_flags(self, name):
+        policy = make_policy(name)
+        policy.touch(fkey(1), dirty=True)
+        policy.touch(fkey(2), dirty=False)
+        dirty = {v.key: v.dirty for v in policy.pop_victims(10)}
+        assert dirty[fkey(1)] is True
+        assert dirty[fkey(2)] is False
+
+    def test_keys_iterates_contents(self, name):
+        policy = make_policy(name)
+        for i in range(4):
+            policy.touch(fkey(i))
+        assert set(policy.keys()) == {fkey(i) for i in range(4)}
+
+    def test_pop_zero_returns_nothing(self, name):
+        policy = make_policy(name)
+        policy.touch(fkey(0))
+        assert policy.pop_victims(0) == []
+
+
+class TestLRU:
+    def test_evicts_least_recent_first(self):
+        policy = LRUPolicy()
+        for i in range(3):
+            policy.touch(fkey(i))
+        policy.touch(fkey(0))  # 0 is now most recent
+        victims = [v.key for v in policy.pop_victims(2)]
+        assert victims == [fkey(1), fkey(2)]
+
+    def test_demote_makes_page_next_victim(self):
+        policy = LRUPolicy()
+        for i in range(3):
+            policy.touch(fkey(i))
+        policy.demote(fkey(2))
+        assert policy.pop_victims(1)[0].key == fkey(2)
+
+
+class TestClock:
+    def test_second_chance_protects_referenced_page(self):
+        policy = ClockPolicy()
+        for i in range(4):
+            policy.touch(fkey(i))
+        victims = [v.key for v in policy.pop_victims(1)]
+        # All pages are referenced once; one full sweep clears bits and
+        # evicts the insertion-order head.
+        assert victims == [fkey(0)]
+
+    def test_retouched_page_survives_a_sweep(self):
+        policy = ClockPolicy()
+        for i in range(4):
+            policy.touch(fkey(i))
+        policy.pop_victims(1)  # clears all reference bits, evicts fkey(0)
+        policy.touch(fkey(1))  # re-reference
+        victims = [v.key for v in policy.pop_victims(1)]
+        assert victims == [fkey(2)]
+        assert policy.contains(fkey(1))
+
+    def test_file_pages_evicted_before_anon(self):
+        policy = ClockPolicy()
+        policy.touch(akey(0))
+        for i in range(5):
+            policy.touch(fkey(i))
+        victims = [v.key for v in policy.pop_victims(5)]
+        assert akey(0) not in victims
+        assert len(victims) == 5
+
+    def test_anon_evicted_only_when_no_file_pages_remain(self):
+        policy = ClockPolicy()
+        policy.touch(akey(0))
+        policy.touch(fkey(0))
+        victims = [v.key for v in policy.pop_victims(2)]
+        assert victims[0] == fkey(0)
+        assert victims[1] == akey(0)
+
+    def test_demote_clears_reference_and_fronts_page(self):
+        policy = ClockPolicy()
+        for i in range(3):
+            policy.touch(fkey(i))
+        policy.demote(fkey(2))
+        assert policy.pop_victims(1)[0].key == fkey(2)
+
+    def test_eviction_proceeds_in_insertion_chunks(self):
+        # The figure-1 property: pages inserted together leave together.
+        policy = ClockPolicy()
+        for i in range(100):
+            policy.touch(fkey(i))
+        policy.pop_victims(1)  # clear all reference bits
+        victims = [v.key.index for v in policy.pop_victims(20)]
+        assert victims == list(range(1, 21))
+
+
+class TestSegmap:
+    def test_early_file_is_hard_to_dislodge(self):
+        policy = SegmapPolicy()
+        for i in range(10):
+            policy.touch(fkey(i, ino=1))
+        for i in range(10):
+            policy.touch(fkey(i, ino=2))
+        victims = [v.key for v in policy.pop_victims(5)]
+        assert all(v.ino == 2 for v in victims)
+
+    def test_within_file_newest_insertion_evicted_first(self):
+        # A sequential scan keeps its earliest-read prefix resident.
+        policy = SegmapPolicy()
+        for i in range(10):
+            policy.touch(fkey(i))
+        victims = [v.key.index for v in policy.pop_victims(3)]
+        assert victims == [9, 8, 7]
+
+    def test_retouch_does_not_change_insertion_order(self):
+        policy = SegmapPolicy()
+        for i in range(5):
+            policy.touch(fkey(i))
+        policy.touch(fkey(4))
+        victims = [v.key.index for v in policy.pop_victims(1)]
+        assert victims == [4]
+
+    def test_owner_forgotten_when_empty(self):
+        policy = SegmapPolicy()
+        policy.touch(fkey(0, ino=5))
+        policy.pop_victims(1)
+        policy.touch(fkey(0, ino=6))
+        victims = [v.key for v in policy.pop_victims(1)]
+        assert victims == [fkey(0, ino=6)]
+
+    def test_meta_and_anon_keys_have_owners(self):
+        policy = SegmapPolicy()
+        policy.touch(MetaKey(0, 7))
+        policy.touch(akey(1))
+        assert len(policy) == 2
+        assert len(policy.pop_victims(5)) == 2
+
+
+# ---------------------------------------------------------------------------
+# Property tests: every policy keeps a consistent membership view under
+# arbitrary interleavings of touches and removals.
+# ---------------------------------------------------------------------------
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["touch", "touch_dirty", "remove", "pop"]),
+        st.integers(min_value=0, max_value=15),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=operations, name=st.sampled_from(["lru", "clock", "segmap"]))
+def test_policy_membership_matches_model(ops, name):
+    policy = make_policy(name)
+    model = {}
+    for op, i in ops:
+        key = fkey(i)
+        if op == "touch":
+            policy.touch(key)
+            model.setdefault(key, False)
+        elif op == "touch_dirty":
+            policy.touch(key, dirty=True)
+            model[key] = True
+        elif op == "remove":
+            assert policy.remove(key) == (key in model)
+            model.pop(key, None)
+        else:
+            for victim in policy.pop_victims(1):
+                assert victim.key in model
+                assert victim.dirty == model.pop(victim.key)
+    assert len(policy) == len(model)
+    assert set(policy.keys()) == set(model)
+    for key, dirty in model.items():
+        assert policy.contains(key)
+        assert policy.is_dirty(key) == dirty
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    indices=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=40)
+)
+def test_lru_eviction_order_matches_reference_model(indices):
+    policy = LRUPolicy()
+    order = []
+    for i in indices:
+        key = fkey(i)
+        if key in order:
+            order.remove(key)
+        order.append(key)
+        policy.touch(key)
+    victims = [v.key for v in policy.pop_victims(len(order))]
+    assert victims == order

@@ -1,0 +1,72 @@
+"""Clock invariants."""
+
+import pytest
+
+from repro.sim.clock import (
+    MICROS,
+    MILLIS,
+    SECONDS,
+    Clock,
+    ns_to_seconds,
+    seconds_to_ns,
+)
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0
+
+    def test_starts_at_given_time(self):
+        assert Clock(start=42).now == 42
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            Clock(start=-1)
+
+    def test_advance_moves_forward(self):
+        clock = Clock()
+        assert clock.advance(10) == 10
+        assert clock.now == 10
+
+    def test_advance_accumulates(self):
+        clock = Clock()
+        clock.advance(3)
+        clock.advance(4)
+        assert clock.now == 7
+
+    def test_advance_rejects_negative(self):
+        clock = Clock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_advance_zero_is_allowed(self):
+        clock = Clock(start=5)
+        assert clock.advance(0) == 5
+
+    def test_advance_to_future(self):
+        clock = Clock()
+        clock.advance_to(100)
+        assert clock.now == 100
+
+    def test_advance_to_past_is_noop(self):
+        clock = Clock(start=50)
+        clock.advance_to(20)
+        assert clock.now == 50
+
+    def test_repr_mentions_time(self):
+        assert "7" in repr(Clock(start=7))
+
+
+class TestUnits:
+    def test_unit_ratios(self):
+        assert MICROS == 1_000
+        assert MILLIS == 1_000 * MICROS
+        assert SECONDS == 1_000 * MILLIS
+
+    def test_ns_to_seconds(self):
+        assert ns_to_seconds(SECONDS) == 1.0
+        assert ns_to_seconds(500 * MILLIS) == 0.5
+
+    def test_seconds_to_ns_round_trips(self):
+        assert seconds_to_ns(1.5) == 1_500_000_000
+        assert seconds_to_ns(ns_to_seconds(123456789)) == 123456789

@@ -1,0 +1,160 @@
+"""Disk service-model invariants: seeks, rotation, readahead, queueing."""
+
+import pytest
+
+from repro.sim.config import DiskSpec
+from repro.sim.disk import Disk
+from repro.sim.errors import InvalidArgument
+
+BLOCK = 4096
+
+
+@pytest.fixture
+def disk() -> Disk:
+    return Disk(DiskSpec(), disk_id=0)
+
+
+class TestGeometry:
+    def test_locate_first_sector(self, disk):
+        assert disk.locate(0) == (0, 0, 0)
+
+    def test_locate_advances_through_track_head_cylinder(self, disk):
+        spt = disk.spec.sectors_per_track
+        assert disk.locate(spt) == (0, 1, 0)
+        assert disk.locate(spt * disk.spec.heads) == (1, 0, 0)
+        assert disk.locate(spt + 3) == (0, 1, 3)
+
+    def test_capacity_blocks(self, disk):
+        expected = disk.capacity_sectors * disk.spec.sector_bytes // BLOCK
+        assert disk.capacity_blocks(BLOCK) == expected
+
+    def test_sectors_per_block_requires_multiple(self, disk):
+        with pytest.raises(InvalidArgument):
+            disk.sectors_per_block(1000)
+
+    def test_cylinder_of_block_monotonic(self, disk):
+        cylinders = [disk.cylinder_of_block(b, BLOCK) for b in range(0, 10_000, 500)]
+        assert cylinders == sorted(cylinders)
+
+
+class TestSeekCurve:
+    def test_zero_distance_is_free(self, disk):
+        assert disk.seek_ns(0) == 0
+
+    def test_single_track_matches_spec(self, disk):
+        assert disk.seek_ns(1) == pytest.approx(disk.spec.single_track_seek_ns, rel=0.01)
+
+    def test_full_stroke_matches_spec(self, disk):
+        full = disk.seek_ns(disk.spec.cylinders - 1)
+        assert full == pytest.approx(disk.spec.full_stroke_seek_ns, rel=0.01)
+
+    def test_seek_is_monotonic_in_distance(self, disk):
+        seeks = [disk.seek_ns(d) for d in (1, 10, 100, 1000, 5000)]
+        assert seeks == sorted(seeks)
+
+    def test_seek_is_concave_sqrt_like(self, disk):
+        # Doubling the distance should less than double the seek time.
+        assert disk.seek_ns(2000) < 2 * disk.seek_ns(1000)
+
+
+class TestAccessTiming:
+    def test_single_block_costs_at_most_overhead_seek_rotation_transfer(self, disk):
+        start, end = disk.access(1000, 1, now=0, block_bytes=BLOCK)
+        assert start == 0
+        upper = (
+            disk.spec.command_overhead_ns
+            + disk.spec.full_stroke_seek_ns
+            + disk.spec.rotation_ns
+            + disk.spec.rotation_ns  # transfer < one revolution
+        )
+        assert 0 < end <= upper
+
+    def test_request_queues_behind_busy_disk(self, disk):
+        _s1, end1 = disk.access(0, 1, now=0, block_bytes=BLOCK)
+        start2, _end2 = disk.access(500_000, 1, now=0, block_bytes=BLOCK)
+        assert start2 == end1
+
+    def test_idle_disk_starts_immediately(self, disk):
+        disk.access(0, 1, now=0, block_bytes=BLOCK)
+        later = disk.busy_until + 50_000_000
+        start, _end = disk.access(9_000, 1, now=later, block_bytes=BLOCK)
+        assert start == later
+
+    def test_sequential_followup_has_no_seek_or_rotation(self, disk):
+        _s, end1 = disk.access(1000, 16, now=0, block_bytes=BLOCK)
+        start2, end2 = disk.access(1016, 16, now=end1, block_bytes=BLOCK)
+        service = end2 - start2
+        pure_transfer = 16 * disk.sectors_per_block(BLOCK) * (
+            disk.spec.rotation_ns / disk.spec.sectors_per_track
+        )
+        assert service <= disk.spec.command_overhead_ns + pure_transfer * 1.2
+
+    def test_stale_sequential_state_pays_rotation_again(self, disk):
+        _s, end1 = disk.access(1000, 16, now=0, block_bytes=BLOCK)
+        much_later = end1 + 10 * disk.spec.rotation_ns
+        start2, end2 = disk.access(1016, 16, now=much_later, block_bytes=BLOCK)
+        service = end2 - start2
+        pure_transfer = 16 * disk.sectors_per_block(BLOCK) * (
+            disk.spec.rotation_ns / disk.spec.sectors_per_track
+        )
+        assert service > pure_transfer  # some rotational wait came back
+
+    def test_sequential_bandwidth_beats_random(self, disk):
+        t = 0
+        for i in range(64):
+            _s, t = disk.access(i * 8, 8, now=t, block_bytes=BLOCK)
+        sequential = t
+        disk2 = Disk(DiskSpec())
+        t = 0
+        for i in range(64):
+            _s, t = disk2.access((i * 7919) % 100_000, 8, now=t, block_bytes=BLOCK)
+        random_time = t
+        assert random_time > 3 * sequential
+
+    def test_near_seeks_beat_far_seeks(self, disk):
+        t = 0
+        for i in range(32):
+            _s, t = disk.access(10_000 + i * 64, 2, now=t, block_bytes=BLOCK)
+        near = t
+        disk2 = Disk(DiskSpec())
+        t = 0
+        for i in range(32):
+            _s, t = disk2.access((i % 2) * 1_500_000 + i * 64, 2, now=t, block_bytes=BLOCK)
+        far = t
+        assert far > near
+
+    def test_write_does_not_arm_readahead(self, disk):
+        _s, end1 = disk.access(1000, 16, now=0, block_bytes=BLOCK, write=True)
+        start2, end2 = disk.access(1016, 1, now=end1, block_bytes=BLOCK)
+        service = end2 - start2
+        one_sector_transfer = disk.sectors_per_block(BLOCK) * (
+            disk.spec.rotation_ns / disk.spec.sectors_per_track
+        )
+        # Without readahead, there is at least command overhead plus some
+        # positioning beyond the raw transfer most of the time.
+        assert service >= disk.spec.command_overhead_ns + one_sector_transfer
+
+    def test_rejects_empty_request(self, disk):
+        with pytest.raises(InvalidArgument):
+            disk.access(0, 0, now=0, block_bytes=BLOCK)
+
+    def test_rejects_access_beyond_capacity(self, disk):
+        with pytest.raises(InvalidArgument):
+            disk.access(disk.capacity_blocks(BLOCK), 1, now=0, block_bytes=BLOCK)
+
+
+class TestStats:
+    def test_read_and_write_counters(self, disk):
+        disk.access(0, 4, now=0, block_bytes=BLOCK)
+        disk.access(100, 2, now=0, block_bytes=BLOCK, write=True)
+        spb = disk.sectors_per_block(BLOCK)
+        assert disk.stats.reads == 1
+        assert disk.stats.writes == 1
+        assert disk.stats.sectors_read == 4 * spb
+        assert disk.stats.sectors_written == 2 * spb
+
+    def test_busy_time_accumulates(self, disk):
+        disk.access(0, 4, now=0, block_bytes=BLOCK)
+        before = disk.stats.busy_ns
+        disk.access(90_000, 4, now=disk.busy_until, block_bytes=BLOCK)
+        assert disk.stats.busy_ns > before

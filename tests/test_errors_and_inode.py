@@ -1,0 +1,104 @@
+"""Error hierarchy and inode/directory data structures."""
+
+import pytest
+
+from repro.sim import errors
+from repro.sim.fs.directory import DIRENT_BYTES, Directory
+from repro.sim.fs.inode import INODE_BYTES, FileKind, Inode, StatResult, to_inode_seconds
+
+
+class TestErrors:
+    def test_all_errors_are_simos_errors(self):
+        for name in (
+            "FileNotFound", "FileExists", "NotADirectory", "IsADirectory",
+            "DirectoryNotEmpty", "BadFileDescriptor", "InvalidArgument",
+            "NoSpace", "OutOfMemory", "PermissionDenied",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.SimOSError)
+            assert cls.errno_name  # every error names its errno
+
+    def test_errno_names_unique(self):
+        names = [
+            getattr(errors, n).errno_name
+            for n in dir(errors)
+            if isinstance(getattr(errors, n), type)
+            and issubclass(getattr(errors, n), errors.SimOSError)
+            and getattr(errors, n) is not errors.SimOSError
+        ]
+        assert len(names) == len(set(names))
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.SimOSError):
+            raise errors.NoSpace("disk full")
+
+
+class TestInode:
+    def test_npages_rounds_up(self):
+        inode = Inode(ino=2, fs_id=0, kind=FileKind.FILE, size=4097)
+        assert inode.npages(4096) == 2
+        inode.size = 0
+        assert inode.npages(4096) == 0
+
+    def test_block_of_page_bounds_checked(self):
+        inode = Inode(ino=2, fs_id=0, kind=FileKind.FILE, blocks=[10, 11])
+        assert inode.block_of_page(1) == 11
+        with pytest.raises(IndexError):
+            inode.block_of_page(2)
+
+    def test_stamp_selective_fields(self):
+        inode = Inode(ino=2, fs_id=0, kind=FileKind.FILE)
+        inode.stamp(5_000_000_000, access=True)
+        assert (inode.atime, inode.mtime, inode.ctime) == (5, 0, 0)
+        inode.stamp(9_000_000_000, modify=True, change=True)
+        assert (inode.atime, inode.mtime, inode.ctime) == (5, 9, 9)
+
+    def test_second_resolution(self):
+        assert to_inode_seconds(999_999_999) == 0
+        assert to_inode_seconds(1_000_000_000) == 1
+
+    def test_stat_result_mirrors_inode(self):
+        inode = Inode(ino=7, fs_id=1, kind=FileKind.FILE, size=123, nlink=2)
+        inode.stamp(3_000_000_000, access=True, modify=True, change=True)
+        st = StatResult.from_inode(inode)
+        assert (st.ino, st.fs_id, st.size, st.nlink) == (7, 1, 123, 2)
+        assert st.atime == st.mtime == st.ctime == 3
+
+    def test_inode_is_small_enough_for_its_table_slot(self):
+        assert INODE_BYTES == 128
+
+
+class TestDirectory:
+    def test_add_lookup_remove(self):
+        d = Directory(ino=2, parent_ino=1)
+        d.add("a", 10)
+        assert d.lookup("a") == 10
+        assert d.contains("a")
+        assert d.remove("a") == 10
+        assert d.is_empty
+
+    def test_duplicate_add_rejected(self):
+        d = Directory(ino=2, parent_ino=1)
+        d.add("a", 10)
+        with pytest.raises(errors.FileExists):
+            d.add("a", 11)
+
+    def test_missing_lookup_and_remove_raise(self):
+        d = Directory(ino=2, parent_ino=1)
+        with pytest.raises(errors.FileNotFound):
+            d.lookup("ghost")
+        with pytest.raises(errors.FileNotFound):
+            d.remove("ghost")
+
+    def test_names_preserve_insertion_order(self):
+        d = Directory(ino=2, parent_ino=1)
+        for i, name in enumerate(("z", "a", "m")):
+            d.add(name, i)
+        assert d.names() == ["z", "a", "m"]
+        assert dict(d.items()) == {"z": 0, "a": 1, "m": 2}
+
+    def test_data_bytes_counts_dot_entries(self):
+        d = Directory(ino=2, parent_ino=1)
+        assert d.data_bytes() == 2 * DIRENT_BYTES
+        d.add("a", 3)
+        assert d.data_bytes() == 3 * DIRENT_BYTES

@@ -1,0 +1,261 @@
+"""FFS allocator: i-numbers, cylinder groups, contiguity, aging."""
+
+import random
+
+import pytest
+
+from repro.sim.errors import (
+    DirectoryNotEmpty,
+    FileExists,
+    FileNotFound,
+    InvalidArgument,
+    NoSpace,
+)
+from repro.sim.fs.ffs import FFS, ROOT_INO
+from repro.sim.fs.inode import FileKind
+
+BLOCK = 4096
+
+
+def make_fs(total_blocks=8192, blocks_per_cg=1024, inodes_per_cg=128, gap=0) -> FFS:
+    return FFS(
+        fs_id=0,
+        total_blocks=total_blocks,
+        block_bytes=BLOCK,
+        blocks_per_cg=blocks_per_cg,
+        inodes_per_cg=inodes_per_cg,
+        alloc_gap=gap,
+    )
+
+
+def create_file(fs, name, size, parent=ROOT_INO):
+    inode = fs.create(parent, name, FileKind.FILE, now_ns=0)
+    fs.grow_to_size(inode, size)
+    return inode
+
+
+class TestLayout:
+    def test_root_is_inode_one(self):
+        fs = make_fs()
+        assert fs.root.ino == ROOT_INO
+        assert fs.get_inode(ROOT_INO).is_dir
+
+    def test_groups_cover_disk(self):
+        fs = make_fs(total_blocks=8192, blocks_per_cg=1024)
+        assert len(fs.groups) == 8
+        assert fs.groups[3].first_block == 3 * 1024
+
+    def test_inode_table_block_within_group(self):
+        fs = make_fs()
+        ino = 3 * fs.inodes_per_cg + 5
+        block = fs.inode_table_block(ino)
+        cg = fs.cg_of_inode(ino)
+        assert cg.first_block <= block < cg.data_first
+
+    def test_group_too_small_for_itable_rejected(self):
+        with pytest.raises(InvalidArgument):
+            make_fs(blocks_per_cg=8, inodes_per_cg=100_000)
+
+
+class TestInodeAllocation:
+    def test_sequential_creates_get_increasing_inumbers(self):
+        fs = make_fs()
+        inos = [create_file(fs, f"f{i}", BLOCK).ino for i in range(10)]
+        assert inos == sorted(inos)
+        assert len(set(inos)) == 10
+
+    def test_freed_inumber_is_reused_lowest_first(self):
+        fs = make_fs()
+        files = [create_file(fs, f"f{i}", BLOCK) for i in range(5)]
+        victim = files[1].ino
+        fs.unlink(ROOT_INO, "f1", now_ns=0)
+        fresh = create_file(fs, "fresh", BLOCK)
+        assert fresh.ino == victim
+
+    def test_files_inherit_parent_directory_group(self):
+        fs = make_fs()
+        sub = fs.create(ROOT_INO, "sub", FileKind.DIRECTORY, now_ns=0)
+        inode = create_file(fs, "data", BLOCK, parent=sub.ino)
+        assert fs.cg_of_inode(inode.ino).index == fs.cg_of_inode(sub.ino).index
+
+    def test_new_directory_goes_to_emptiest_group(self):
+        fs = make_fs()
+        # Fill much of cg0 with data so the next directory lands elsewhere.
+        create_file(fs, "big", 500 * BLOCK)
+        sub = fs.create(ROOT_INO, "sub", FileKind.DIRECTORY, now_ns=0)
+        assert fs.cg_of_inode(sub.ino).index != 0
+
+
+class TestBlockAllocation:
+    def test_fresh_directory_files_laid_out_contiguously(self):
+        fs = make_fs()
+        files = [create_file(fs, f"f{i}", 2 * BLOCK) for i in range(20)]
+        blocks = [b for inode in files for b in inode.blocks]
+        assert blocks == sorted(blocks)
+        assert blocks[-1] - blocks[0] == len(blocks) - 1
+
+    def test_file_growth_appends_contiguously(self):
+        fs = make_fs()
+        inode = create_file(fs, "grow", 2 * BLOCK)
+        fs.grow_to_size(inode, 10 * BLOCK)
+        diffs = {b - a for a, b in zip(inode.blocks, inode.blocks[1:])}
+        assert diffs == {1}
+
+    def test_grow_is_idempotent_for_smaller_size(self):
+        fs = make_fs()
+        inode = create_file(fs, "f", 4 * BLOCK)
+        before = list(inode.blocks)
+        assert fs.grow_to_size(inode, 2 * BLOCK) == []
+        assert inode.blocks == before
+
+    def test_alloc_spills_to_next_group_when_full(self):
+        fs = make_fs(total_blocks=2048, blocks_per_cg=1024, inodes_per_cg=64)
+        cg0_data = fs.groups[0].data_blocks
+        inode = create_file(fs, "huge", (cg0_data + 10) * BLOCK)
+        used_cgs = {fs.cg_of_block(b).index for b in inode.blocks}
+        assert used_cgs == {0, 1}
+
+    def test_out_of_space_raises(self):
+        fs = make_fs(total_blocks=1024, blocks_per_cg=1024, inodes_per_cg=64)
+        with pytest.raises(NoSpace):
+            create_file(fs, "too-big", fs.free_blocks_total() * BLOCK + BLOCK)
+
+    def test_freed_blocks_are_reusable(self):
+        fs = make_fs()
+        inode = create_file(fs, "f", 50 * BLOCK)
+        freed_count = len(inode.blocks)
+        before = fs.free_blocks_total()
+        fs.unlink(ROOT_INO, "f", now_ns=0)
+        assert fs.free_blocks_total() == before + freed_count
+
+    def test_double_free_detected(self):
+        fs = make_fs()
+        inode = create_file(fs, "f", BLOCK)
+        block = inode.blocks[0]
+        fs.unlink(ROOT_INO, "f", now_ns=0)
+        with pytest.raises(InvalidArgument):
+            fs.groups[0].free_block(block)
+
+    def test_alloc_gap_spaces_files_apart(self):
+        tight = make_fs()
+        loose = make_fs(gap=4)
+        for fs in (tight, loose):
+            for i in range(5):
+                create_file(fs, f"f{i}", 2 * BLOCK)
+        tight_span = max(
+            b for ino in tight.inodes.values() for b in ino.blocks
+        )
+        loose_span = max(
+            b for ino in loose.inodes.values() for b in ino.blocks
+        )
+        assert loose_span > tight_span
+
+
+class TestAgingDecorrelation:
+    def _kendall_violations(self, fs) -> float:
+        """Fraction of file pairs whose i-number and block order disagree."""
+        files = [
+            inode
+            for inode in fs.inodes.values()
+            if not inode.is_dir and inode.blocks
+        ]
+        files.sort(key=lambda inode: inode.ino)
+        bad = 0
+        total = 0
+        for i in range(len(files)):
+            for j in range(i + 1, len(files)):
+                total += 1
+                if files[i].blocks[0] > files[j].blocks[0]:
+                    bad += 1
+        return bad / max(total, 1)
+
+    def test_fresh_directory_is_perfectly_correlated(self):
+        fs = make_fs()
+        for i in range(30):
+            create_file(fs, f"f{i}", 2 * BLOCK)
+        assert self._kendall_violations(fs) == 0.0
+
+    def test_churn_decorrelates_inumber_from_layout(self):
+        fs = make_fs()
+        rng = random.Random(42)
+        names = [f"f{i}" for i in range(30)]
+        for name in names:
+            create_file(fs, name, 2 * BLOCK)
+        for epoch in range(15):
+            live = fs.root.names()
+            for name in rng.sample(live, 5):
+                fs.unlink(ROOT_INO, name, now_ns=0)
+            for j in range(5):
+                create_file(fs, f"e{epoch}_{j}", 2 * BLOCK)
+        assert self._kendall_violations(fs) > 0.15
+
+
+class TestNamespace:
+    def test_duplicate_name_rejected(self):
+        fs = make_fs()
+        create_file(fs, "f", BLOCK)
+        with pytest.raises(FileExists):
+            fs.create(ROOT_INO, "f", FileKind.FILE, now_ns=0)
+
+    def test_lookup_missing_name(self):
+        fs = make_fs()
+        with pytest.raises(FileNotFound):
+            fs.root.lookup("ghost")
+
+    def test_unlink_directory_rejected(self):
+        fs = make_fs()
+        fs.create(ROOT_INO, "d", FileKind.DIRECTORY, now_ns=0)
+        with pytest.raises(InvalidArgument):
+            fs.unlink(ROOT_INO, "d", now_ns=0)
+
+    def test_rmdir_requires_empty(self):
+        fs = make_fs()
+        sub = fs.create(ROOT_INO, "d", FileKind.DIRECTORY, now_ns=0)
+        create_file(fs, "f", BLOCK, parent=sub.ino)
+        with pytest.raises(DirectoryNotEmpty):
+            fs.rmdir(ROOT_INO, "d", now_ns=0)
+
+    def test_rmdir_updates_link_counts(self):
+        fs = make_fs()
+        fs.create(ROOT_INO, "d", FileKind.DIRECTORY, now_ns=0)
+        root_links = fs.get_inode(ROOT_INO).nlink
+        fs.rmdir(ROOT_INO, "d", now_ns=0)
+        assert fs.get_inode(ROOT_INO).nlink == root_links - 1
+
+    def test_rename_moves_entry(self):
+        fs = make_fs()
+        inode = create_file(fs, "old", BLOCK)
+        fs.rename(ROOT_INO, "old", ROOT_INO, "new", now_ns=0)
+        assert fs.root.lookup("new") == inode.ino
+        with pytest.raises(FileNotFound):
+            fs.root.lookup("old")
+
+    def test_rename_directory_across_parents_fixes_links(self):
+        fs = make_fs()
+        a = fs.create(ROOT_INO, "a", FileKind.DIRECTORY, now_ns=0)
+        b = fs.create(ROOT_INO, "b", FileKind.DIRECTORY, now_ns=0)
+        child = fs.create(a.ino, "child", FileKind.DIRECTORY, now_ns=0)
+        a_links = fs.get_inode(a.ino).nlink
+        fs.rename(a.ino, "child", b.ino, "child", now_ns=0)
+        assert fs.get_inode(a.ino).nlink == a_links - 1
+        assert fs.directories[child.ino].parent_ino == b.ino
+
+    def test_rename_onto_existing_name_rejected(self):
+        fs = make_fs()
+        create_file(fs, "x", BLOCK)
+        create_file(fs, "y", BLOCK)
+        with pytest.raises(FileExists):
+            fs.rename(ROOT_INO, "x", ROOT_INO, "y", now_ns=0)
+
+    def test_readdir_order_is_insertion_order(self):
+        fs = make_fs()
+        for name in ("c", "a", "b"):
+            create_file(fs, name, BLOCK)
+        assert fs.root.names() == ["c", "a", "b"]
+
+    def test_directory_grows_with_entries(self):
+        fs = make_fs()
+        for i in range(300):
+            create_file(fs, f"file-with-a-long-name-{i:04d}", BLOCK)
+        root = fs.get_inode(ROOT_INO)
+        assert len(root.blocks) >= 2

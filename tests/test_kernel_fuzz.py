@@ -1,0 +1,91 @@
+"""Kernel fuzzing: random syscall storms must preserve global invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Kernel, syscalls as sc
+from repro.sim.errors import SimOSError
+from tests.conftest import KIB, MIB, small_config
+
+
+def chaos_process(seed: int, steps: int):
+    """A process issuing a random but self-consistent syscall stream."""
+    rng = random.Random(seed)
+    open_fds = []
+    regions = []
+    my_files = []
+
+    def random_path():
+        return f"/mnt0/fz{rng.randrange(6)}"
+
+    for _ in range(steps):
+        action = rng.randrange(10)
+        try:
+            if action == 0:
+                fd = (yield sc.create(random_path())).value
+                open_fds.append(fd)
+                my_files.append(random_path())
+            elif action == 1:
+                fd = (yield sc.open(random_path())).value
+                open_fds.append(fd)
+            elif action == 2 and open_fds:
+                yield sc.write(open_fds[-1], rng.randrange(1, 64 * KIB))
+            elif action == 3 and open_fds:
+                yield sc.pread(open_fds[-1], rng.randrange(128 * KIB), 4 * KIB)
+            elif action == 4 and open_fds:
+                yield sc.close(open_fds.pop())
+            elif action == 5:
+                region = (yield sc.vm_alloc(rng.randrange(1, 32) * 4 * KIB)).value
+                regions.append(region)
+            elif action == 6 and regions:
+                yield sc.touch(regions[-1], 0)
+            elif action == 7 and regions:
+                yield sc.vm_free(regions.pop())
+            elif action == 8:
+                yield sc.sleep(rng.randrange(1, 100_000))
+            else:
+                yield sc.stat(random_path())
+        except SimOSError:
+            continue
+    return "survived"
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seeds=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=4),
+    steps=st.integers(min_value=5, max_value=60),
+)
+def test_chaos_processes_preserve_invariants(seeds, steps):
+    kernel = Kernel(small_config())
+    processes = [
+        kernel.spawn(chaos_process(seed, steps), f"chaos{i}")
+        for i, seed in enumerate(seeds)
+    ]
+    kernel.run()
+    # Everyone survived their own errors.
+    assert all(p.result == "survived" for p in processes)
+    # Clock only ever moved forward and the pools balance.
+    assert kernel.clock.now >= 0
+    mm = kernel.mm
+    assert 0 <= mm.file_pool_used() <= mm.file_capacity_pages
+    assert mm.dirty_file_pages >= 0
+    # All process memory was released at exit.
+    for process in processes:
+        assert kernel.oracle.resident_anon_pages(process.pid) == 0
+    # Filesystem bitmaps agree with inode block maps.
+    for fs in kernel._fs_by_id.values():
+        mapped = sum(len(inode.blocks) for inode in fs.inodes.values())
+        used = sum(cg.data_blocks - cg.free_block_count for cg in fs.groups)
+        assert used == mapped
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_chaos_is_deterministic(seed):
+    def run():
+        kernel = Kernel(small_config())
+        kernel.run_process(chaos_process(seed, 40), "chaos")
+        return kernel.clock.now
+    assert run() == run()

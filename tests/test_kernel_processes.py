@@ -1,0 +1,252 @@
+"""Processes, scheduling, pipes, and cross-process interference."""
+
+import pytest
+
+from repro.sim import Kernel, syscalls as sc
+from repro.sim.errors import BadFileDescriptor, InvalidArgument
+from tests.conftest import MIB, small_config
+
+
+def run(kernel, gen):
+    return kernel.run_process(gen, "test")
+
+
+class TestLifecycle:
+    def test_run_process_returns_generator_result(self, kernel):
+        def app():
+            yield sc.sleep(10)
+            return "done"
+        assert run(kernel, app()) == "done"
+
+    def test_spawn_and_waitpid(self, kernel):
+        def child():
+            yield sc.sleep(5_000)
+            return 42
+
+        def parent():
+            pid = (yield sc.spawn(child(), "child")).value
+            result = (yield sc.waitpid(pid)).value
+            return result
+        assert run(kernel, parent()) == 42
+
+    def test_waitpid_on_finished_child(self, kernel):
+        def child():
+            yield sc.sleep(1)
+            return "early"
+
+        def parent():
+            pid = (yield sc.spawn(child(), "child")).value
+            yield sc.sleep(10_000_000)  # child certainly done
+            return (yield sc.waitpid(pid)).value
+        assert run(kernel, parent()) == "early"
+
+    def test_waitpid_unknown_pid_rejected(self, kernel):
+        def app():
+            try:
+                yield sc.waitpid(12345)
+            except InvalidArgument:
+                return "caught"
+        assert run(kernel, app()) == "caught"
+
+    def test_getpid_distinct_per_process(self, kernel):
+        pids = []
+
+        def app():
+            pids.append((yield sc.getpid()).value)
+        kernel.spawn(app(), "a")
+        kernel.spawn(app(), "b")
+        kernel.run()
+        assert len(set(pids)) == 2
+
+    def test_fds_closed_on_exit(self, kernel):
+        def leaky():
+            fd = (yield sc.create("/mnt0/f")).value
+            yield sc.write(fd, 10)
+            # exit without closing
+        run(kernel, leaky())
+
+        def unlinker():
+            yield sc.unlink("/mnt0/f")
+            return "ok"
+        assert run(kernel, unlinker()) == "ok"
+
+    def test_non_syscall_yield_rejected(self, kernel):
+        def bad():
+            yield "not a syscall"
+        with pytest.raises(TypeError):
+            run(kernel, bad())
+
+    def test_max_steps_guard(self, kernel):
+        def spinner():
+            while True:
+                yield sc.sleep(1)
+        kernel.spawn(spinner(), "spin")
+        with pytest.raises(RuntimeError):
+            kernel.run(max_steps=100)
+
+
+class TestScheduling:
+    def test_sleepers_complete_in_deadline_order(self, kernel):
+        order = []
+
+        def sleeper(tag, ns):
+            yield sc.sleep(ns)
+            order.append(tag)
+        kernel.spawn(sleeper("late", 3_000_000), "late")
+        kernel.spawn(sleeper("early", 1_000_000), "early")
+        kernel.spawn(sleeper("mid", 2_000_000), "mid")
+        kernel.run()
+        assert order == ["early", "mid", "late"]
+
+    def test_compute_contends_for_cpus(self):
+        kernel = Kernel(small_config(cpus=1))
+
+        def worker():
+            yield sc.compute(10_000_000)
+        kernel.spawn(worker(), "a")
+        kernel.spawn(worker(), "b")
+        kernel.run()
+        serial = kernel.clock.now
+
+        kernel2 = Kernel(small_config(cpus=2))
+        kernel2.spawn(worker(), "a")
+        kernel2.spawn(worker(), "b")
+        kernel2.run()
+        parallel = kernel2.clock.now
+        assert serial >= 2 * 10_000_000
+        assert parallel < serial
+
+    def test_disk_requests_queue_across_processes(self, kernel):
+        def setup():
+            for i in range(2):
+                fd = (yield sc.create(f"/mnt0/f{i}")).value
+                yield sc.write(fd, 2 * MIB)
+                yield sc.fsync(fd)
+                yield sc.close(fd)
+        run(kernel, setup())
+        kernel.oracle.flush_file_cache()
+        elapsed = []
+
+        def reader(i):
+            fd = (yield sc.open(f"/mnt0/f{i}")).value
+            result = yield sc.pread(fd, 0, 2 * MIB)
+            elapsed.append(result.elapsed_ns)
+            yield sc.close(fd)
+        kernel.spawn(reader(0), "r0")
+        kernel.spawn(reader(1), "r1")
+        kernel.run()
+        # One of the two waited behind the other at the shared disk.
+        assert max(elapsed) > 1.5 * min(elapsed)
+
+    def test_clock_monotonic_across_many_processes(self, kernel):
+        stamps = []
+
+        def app():
+            for _ in range(10):
+                stamps.append((yield sc.gettime()).value)
+                yield sc.sleep(1000)
+        for i in range(4):
+            kernel.spawn(app(), f"p{i}")
+        kernel.run()
+        assert stamps == sorted(stamps)
+
+
+class TestPipes:
+    def test_pipe_transfers_lengths(self, kernel):
+        def app():
+            r, w = (yield sc.pipe()).value
+            yield sc.write(w, 1000)
+            result = (yield sc.read(r, 2000)).value
+            return result.nbytes
+        assert run(kernel, app()) == 1000
+
+    def test_read_after_writer_close_returns_eof(self, kernel):
+        def app():
+            r, w = (yield sc.pipe()).value
+            yield sc.write(w, 10)
+            yield sc.close(w)
+            first = (yield sc.read(r, 100)).value
+            second = (yield sc.read(r, 100)).value
+            return first.nbytes, second.eof
+        nbytes, eof = run(kernel, app())
+        assert (nbytes, eof) == (10, True)
+
+    def test_write_to_closed_reader_raises_epipe(self, kernel):
+        def app():
+            r, w = (yield sc.pipe()).value
+            yield sc.close(r)
+            try:
+                yield sc.write(w, 10)
+            except BadFileDescriptor:
+                return "epipe"
+        assert run(kernel, app()) == "epipe"
+
+    def test_producer_consumer_pipeline(self, kernel):
+        total = 5 * MIB
+
+        def producer(w_fd):
+            remaining = total
+            while remaining:
+                written = (yield sc.write(w_fd, min(remaining, 256 * 1024))).value
+                remaining -= written
+            yield sc.close(w_fd)
+            return "produced"
+
+        def consumer(r_fd):
+            got = 0
+            while True:
+                result = (yield sc.read(r_fd, 512 * 1024)).value
+                if result.eof:
+                    break
+                got += result.nbytes
+            yield sc.close(r_fd)
+            return got
+
+        pipe = kernel.make_pipe()
+        kernel.spawn_with_pipe_ends(lambda w: producer(w), [(pipe, "pipe_w")], "prod")
+        cons = kernel.spawn_with_pipe_ends(lambda r: consumer(r), [(pipe, "pipe_r")], "cons")
+        kernel.run()
+        assert cons.result == total
+
+    def test_pipe_blocking_respects_capacity(self, kernel):
+        """A writer stalls once the pipe fills until the reader drains."""
+        from repro.sim.proc.process import PipeBuffer
+
+        def producer(w_fd):
+            sent = 0
+            # Try to push 4x the pipe capacity before any read happens.
+            target = PipeBuffer.CAPACITY * 4
+            while sent < target:
+                sent += (yield sc.write(w_fd, target - sent)).value
+            yield sc.close(w_fd)
+            return sent
+
+        def consumer(r_fd):
+            yield sc.sleep(50_000_000)  # let the writer hit the wall
+            got = 0
+            while True:
+                result = (yield sc.read(r_fd, PipeBuffer.CAPACITY)).value
+                if result.eof:
+                    break
+                got += result.nbytes
+            yield sc.close(r_fd)
+            return got
+
+        pipe = kernel.make_pipe()
+        prod = kernel.spawn_with_pipe_ends(lambda w: producer(w), [(pipe, "pipe_w")], "p")
+        cons = kernel.spawn_with_pipe_ends(lambda r: consumer(r), [(pipe, "pipe_r")], "c")
+        kernel.run()
+        assert prod.result == cons.result == PipeBuffer.CAPACITY * 4
+
+    def test_deadlock_is_detected(self, kernel):
+        def reader_only(r_fd):
+            yield sc.read(r_fd, 100)  # no writer will ever come
+
+        pipe = kernel.make_pipe()
+        kernel.share_pipe_end  # silence lint; real use below
+        proc = kernel.spawn_with_pipe_ends(
+            lambda r: reader_only(r), [(pipe, "pipe_r")], "stuck"
+        )
+        pipe.writers = 1  # pretend a writer exists but never writes
+        with pytest.raises(RuntimeError, match="deadlock"):
+            kernel.run()

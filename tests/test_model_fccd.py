@@ -1,0 +1,128 @@
+"""The model-based strawman: right with full visibility, wrong without."""
+
+import random
+
+import pytest
+
+from repro.icl.fccd import FCCD
+from repro.icl.model_fccd import ModelFCCD
+from repro.sim import Kernel, syscalls as sc
+from repro.workloads.files import make_file
+from tests.conftest import KIB, MIB, small_config
+
+
+def build(kernel, path, nbytes):
+    kernel.run_process(make_file(path, nbytes), "setup")
+
+
+class TestMirror:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModelFCCD(capacity_bytes=0, page_size=4096)
+
+    def test_tracks_observed_reads_exactly(self, kernel):
+        build(kernel, "/mnt0/f", 8 * 4 * KIB)
+        kernel.oracle.flush_file_cache()
+        model = ModelFCCD(kernel.config.available_bytes, kernel.config.page_size)
+
+        def client():
+            fd = (yield sc.open("/mnt0/f")).value
+            yield from model.read(fd, "/mnt0/f", 0, 3 * 4 * KIB)
+            yield sc.close(fd)
+        kernel.run_process(client(), "client")
+        report = model.report("/mnt0/f", 8 * 4 * KIB)
+        assert report.predicted_cached_pages == {0, 1, 2}
+        # And it matches ground truth while every input is observed.
+        assert report.predicted_cached_pages == kernel.oracle.cached_file_pages(
+            "/mnt0/f"
+        )
+
+    def test_mirror_evicts_lru_within_capacity(self):
+        model = ModelFCCD(capacity_bytes=4 * 4096, page_size=4096)
+        model._touch_pages("a", 0, 4 * 4096)
+        model._touch_pages("b", 0, 2 * 4096)
+        report_a = model.report("a", 4 * 4096)
+        assert report_a.predicted_cached_pages == {2, 3}
+        assert model.mirrored_pages == 4
+
+    def test_forget_file(self):
+        model = ModelFCCD(capacity_bytes=16 * 4096, page_size=4096)
+        model._touch_pages("a", 0, 4 * 4096)
+        model.forget_file("a")
+        assert model.mirrored_pages == 0
+
+    def test_order_files_most_cached_first(self):
+        model = ModelFCCD(capacity_bytes=64 * 4096, page_size=4096)
+        model._touch_pages("cold", 0, 0)
+        model._touch_pages("half", 0, 2 * 4096)
+        model._touch_pages("hot", 0, 4 * 4096)
+        ordered = model.order_files(
+            [("cold", 4 * 4096), ("half", 4 * 4096), ("hot", 4 * 4096)]
+        )
+        assert ordered == ["hot", "half", "cold"]
+
+
+class TestVisibilityArgument:
+    """§4.1.1's claim, measured: the simulation is only as good as its
+    view of the inputs."""
+
+    def _predicted_vs_truth(self, kernel, model, path, size):
+        report = model.report(path, size)
+        truth = kernel.oracle.cached_file_pages(path)
+        predicted = report.predicted_cached_pages
+        union = predicted | truth
+        if not union:
+            return 1.0
+        return len(predicted & truth) / len(union)
+
+    def test_accurate_while_all_inputs_observed(self, kernel):
+        build(kernel, "/mnt0/f", 2 * MIB)
+        kernel.oracle.flush_file_cache()
+        model = ModelFCCD(kernel.config.available_bytes, kernel.config.page_size)
+
+        def client():
+            fd = (yield sc.open("/mnt0/f")).value
+            rng = random.Random(3)
+            for _ in range(30):
+                offset = rng.randrange(0, 2 * MIB - 64 * KIB)
+                yield from model.read(fd, "/mnt0/f", offset, 64 * KIB)
+            yield sc.close(fd)
+        kernel.run_process(client(), "client")
+        assert self._predicted_vs_truth(kernel, model, "/mnt0/f", 2 * MIB) > 0.95
+
+    def test_rots_when_an_unobserved_process_interferes(self):
+        kernel = Kernel(small_config(memory_bytes=24 * MIB, kernel_reserved_bytes=8 * MIB))
+        build(kernel, "/mnt0/mine", 8 * MIB)
+        build(kernel, "/mnt0/theirs", 14 * MIB)
+        kernel.oracle.flush_file_cache()
+        model = ModelFCCD(kernel.config.available_bytes, kernel.config.page_size)
+
+        def client():
+            fd = (yield sc.open("/mnt0/mine")).value
+            yield from model.read(fd, "/mnt0/mine", 0, 8 * MIB)
+            yield sc.close(fd)
+        kernel.run_process(client(), "client")
+        assert self._predicted_vs_truth(kernel, model, "/mnt0/mine", 8 * MIB) > 0.9
+
+        # A process the model cannot see floods the cache.
+        def stranger():
+            fd = (yield sc.open("/mnt0/theirs")).value
+            while not (yield sc.read(fd, MIB)).value.eof:
+                pass
+            yield sc.close(fd)
+        kernel.run_process(stranger(), "stranger")
+
+        accuracy = self._predicted_vs_truth(kernel, model, "/mnt0/mine", 8 * MIB)
+        assert accuracy < 0.5  # the mirror still says "all cached"; it is not
+
+        # Probe-based FCCD, asked the same question, stays correct.
+        fccd = FCCD(rng=random.Random(1), access_unit_bytes=2 * MIB,
+                    prediction_unit_bytes=512 * KIB)
+
+        def probe():
+            plan = yield from fccd.plan_file("/mnt0/mine")
+            return [s for s in plan.segments if s.mean_probe_ns < 1_000_000]
+        fast_segments = kernel.run_process(probe(), "probe")
+        truth_fraction = kernel.oracle.cached_fraction("/mnt0/mine")
+        probed_fraction = sum(s.length for s in fast_segments) / (8 * MIB)
+        assert abs(probed_fraction - truth_fraction) < 0.3

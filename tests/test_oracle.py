@@ -1,0 +1,86 @@
+"""The Oracle: ground truth for tests, and only for tests."""
+
+import pytest
+
+from repro.sim import Kernel, syscalls as sc
+from repro.sim.errors import FileNotFound
+from repro.workloads.files import make_file
+from tests.conftest import KIB, MIB, small_config
+
+
+class TestFilesystemTruth:
+    def test_inode_of_resolves_paths(self, kernel):
+        def setup():
+            yield sc.mkdir("/mnt0/d")
+            yield from make_file("/mnt0/d/f", 10 * KIB)
+        kernel.run_process(setup(), "setup")
+        inode = kernel.oracle.inode_of("/mnt0/d/f")
+        assert inode.size == 10 * KIB
+        with pytest.raises(FileNotFound):
+            kernel.oracle.inode_of("/mnt0/d/ghost")
+
+    def test_file_blocks_match_block_map(self, kernel):
+        kernel.run_process(make_file("/mnt0/f", 5 * 4 * KIB), "setup")
+        blocks = kernel.oracle.file_blocks("/mnt0/f")
+        assert len(blocks) == 5
+        assert len(set(blocks)) == 5
+
+    def test_cached_pages_track_reads(self, kernel):
+        kernel.run_process(make_file("/mnt0/f", 8 * 4 * KIB), "setup")
+        kernel.oracle.flush_file_cache()
+        assert kernel.oracle.cached_file_pages("/mnt0/f") == set()
+
+        def read_some():
+            fd = (yield sc.open("/mnt0/f")).value
+            yield sc.pread(fd, 0, 3 * 4 * KIB)
+            yield sc.close(fd)
+        kernel.run_process(read_some(), "read")
+        assert kernel.oracle.cached_file_pages("/mnt0/f") == {0, 1, 2}
+        assert kernel.oracle.cached_fraction("/mnt0/f") == pytest.approx(3 / 8)
+
+    def test_cached_fraction_of_empty_file(self, kernel):
+        def setup():
+            fd = (yield sc.create("/mnt0/empty")).value
+            yield sc.close(fd)
+        kernel.run_process(setup(), "setup")
+        assert kernel.oracle.cached_fraction("/mnt0/empty") == 0.0
+
+    def test_flush_reports_dropped_count(self, kernel):
+        kernel.run_process(make_file("/mnt0/f", 4 * 4 * KIB), "setup")
+        dropped = kernel.oracle.flush_file_cache()
+        assert dropped >= 4
+        assert kernel.oracle.file_pool_used_pages() == 0
+
+
+class TestMemoryTruth:
+    def test_resident_bytes(self, kernel):
+        def app():
+            pid = (yield sc.getpid()).value
+            region = (yield sc.vm_alloc(8 * 4 * KIB)).value
+            yield sc.touch_range(region, 0, 8)
+            yield sc.sleep(1)
+            return pid, kernel.oracle.resident_anon_bytes(pid)
+        _pid, resident = kernel.run_process(app(), "app")
+        assert resident == 8 * 4 * KIB
+
+    def test_swap_usage_visible(self):
+        kernel = Kernel(small_config())
+        pages = kernel.config.available_pages + 100
+
+        def app():
+            region = (yield sc.vm_alloc(pages * 4 * KIB)).value
+            yield sc.touch_range(region, 0, pages)
+            return kernel.oracle.swap_used_slots()
+        used = kernel.run_process(app(), "app")
+        assert used > 0
+
+    def test_disk_stats_accessible(self, kernel):
+        kernel.run_process(make_file("/mnt0/f", MIB), "setup")
+        stats = kernel.oracle.disk_stats(0)
+        assert stats.writes > 0  # fsync wrote the data
+        assert kernel.oracle.swap_disk_stats().reads == 0
+
+    def test_advance_time_idles_forward(self, kernel):
+        before = kernel.clock.now
+        kernel.oracle.advance_time(5_000_000)
+        assert kernel.clock.now == before + 5_000_000

@@ -1,0 +1,127 @@
+"""SwapSpace slot accounting and AddressSpace region management."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.cache.base import AnonKey
+from repro.sim.errors import InvalidArgument, OutOfMemory
+from repro.sim.vm.address_space import AddressSpace
+from repro.sim.vm.swap import SwapSpace
+
+
+class TestSwapSpace:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            SwapSpace(0)
+
+    def test_slots_assigned_lowest_first(self):
+        swap = SwapSpace(100)
+        slots = [swap.swap_out(AnonKey(1, i)) for i in range(5)]
+        assert slots == [0, 1, 2, 3, 4]
+
+    def test_swap_out_is_idempotent(self):
+        swap = SwapSpace(10)
+        key = AnonKey(1, 0)
+        assert swap.swap_out(key) == swap.swap_out(key)
+        assert swap.used_slots == 1
+
+    def test_swap_in_releases_and_reuses_slot(self):
+        swap = SwapSpace(10)
+        key = AnonKey(1, 0)
+        slot = swap.swap_out(key)
+        assert swap.swap_in(key) == slot
+        assert swap.slot_of(key) is None
+        assert swap.swap_out(AnonKey(2, 0)) == slot  # lowest free reused
+
+    def test_swap_in_unknown_key_raises(self):
+        swap = SwapSpace(10)
+        with pytest.raises(KeyError):
+            swap.swap_in(AnonKey(9, 9))
+
+    def test_exhaustion_raises_oom(self):
+        swap = SwapSpace(2)
+        swap.swap_out(AnonKey(1, 0))
+        swap.swap_out(AnonKey(1, 1))
+        with pytest.raises(OutOfMemory):
+            swap.swap_out(AnonKey(1, 2))
+
+    def test_discard_process_frees_only_that_pid(self):
+        swap = SwapSpace(10)
+        swap.swap_out(AnonKey(1, 0))
+        swap.swap_out(AnonKey(2, 0))
+        assert swap.discard_process(1) == 1
+        assert swap.slot_of(AnonKey(2, 0)) is not None
+        assert swap.used_slots == 1
+
+    def test_free_slots_accounting(self):
+        swap = SwapSpace(10)
+        assert swap.free_slots == 10
+        swap.swap_out(AnonKey(1, 0))
+        assert swap.free_slots == 9
+        swap.swap_in(AnonKey(1, 0))
+        assert swap.free_slots == 10
+
+    @settings(max_examples=50, deadline=None)
+    @given(ops=st.lists(st.integers(min_value=0, max_value=19), max_size=60))
+    def test_slots_never_alias(self, ops):
+        """No two swapped-out pages ever share a slot."""
+        swap = SwapSpace(200)
+        swapped = {}
+        for i, page in enumerate(ops):
+            key = AnonKey(1, page)
+            if key in swapped:
+                swap.swap_in(key)
+                del swapped[key]
+            else:
+                swapped[key] = swap.swap_out(key)
+            assert len(set(swapped.values())) == len(swapped)
+
+
+class TestAddressSpace:
+    def test_regions_do_not_overlap(self):
+        space = AddressSpace(pid=1)
+        a = space.allocate(10)
+        b = space.allocate(5)
+        pages_a = set(a.page_numbers())
+        pages_b = set(b.page_numbers())
+        assert not pages_a & pages_b
+
+    def test_allocate_rejects_zero_pages(self):
+        with pytest.raises(InvalidArgument):
+            AddressSpace(1).allocate(0)
+
+    def test_region_lookup(self):
+        space = AddressSpace(1)
+        region = space.allocate(4, label="heap")
+        assert space.region(region.region_id) is region
+        assert region.label == "heap"
+
+    def test_unknown_region_raises(self):
+        with pytest.raises(InvalidArgument):
+            AddressSpace(1).region(99)
+
+    def test_free_removes_region_and_touched_pages(self):
+        space = AddressSpace(1)
+        region = space.allocate(4)
+        space.touched.add(region.base_page + 1)
+        space.free(region.region_id)
+        assert region.base_page + 1 not in space.touched
+        with pytest.raises(InvalidArgument):
+            space.region(region.region_id)
+
+    def test_double_free_raises(self):
+        space = AddressSpace(1)
+        region = space.allocate(2)
+        space.free(region.region_id)
+        with pytest.raises(InvalidArgument):
+            space.free(region.region_id)
+
+    def test_allocated_pages_totals_live_regions(self):
+        space = AddressSpace(1)
+        space.allocate(3)
+        keep = space.allocate(7)
+        doomed = space.allocate(2)
+        space.free(doomed.region_id)
+        assert space.allocated_pages == 10
+        assert keep.contains(keep.base_page + 6)
+        assert not keep.contains(keep.base_page + 7)

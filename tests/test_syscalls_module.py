@@ -1,0 +1,65 @@
+"""The syscall request/result types themselves."""
+
+import pytest
+
+from repro.sim import syscalls as sc
+from repro.sim.syscalls import ReadResult, Syscall, SyscallResult
+
+
+class TestSyscallObjects:
+    def test_factories_build_named_requests(self):
+        assert sc.open("/mnt0/x") == Syscall("open", ("/mnt0/x",))
+        assert sc.pread(3, 10, 20) == Syscall("pread", (3, 10, 20))
+        assert sc.vm_alloc(4096, "buf") == Syscall("vm_alloc", (4096, "buf"))
+        assert sc.touch_range(1, 0, 8) == Syscall("touch_range", (1, 0, 8))
+
+    def test_requests_are_immutable_and_comparable(self):
+        a = sc.stat("/mnt0/f")
+        b = sc.stat("/mnt0/f")
+        assert a == b
+        with pytest.raises(Exception):
+            a.name = "other"  # type: ignore[misc]
+
+    def test_repr_reads_like_a_call(self):
+        assert repr(sc.read(3, 100)) == "sys.read(3, 100)"
+
+    def test_every_factory_yields_a_syscall(self):
+        samples = [
+            sc.open("/mnt0/a"), sc.create("/mnt0/a"), sc.close(3),
+            sc.read(3, 1), sc.pread(3, 0, 1), sc.write(3, 1),
+            sc.pwrite(3, 0, 1), sc.seek(3, 0), sc.fsync(3),
+            sc.stat("/mnt0/a"), sc.fstat(3), sc.mkdir("/mnt0/d"),
+            sc.rmdir("/mnt0/d"), sc.unlink("/mnt0/a"),
+            sc.rename("/mnt0/a", "/mnt0/b"), sc.readdir("/mnt0"),
+            sc.utimes("/mnt0/a", 1, 2), sc.vm_alloc(1), sc.vm_free(1),
+            sc.touch(1, 0), sc.touch_range(1, 0, 1), sc.gettime(),
+            sc.compute(1), sc.sleep(1), sc.getpid(), sc.pipe(),
+            sc.waitpid(1),
+        ]
+        assert all(isinstance(s, Syscall) for s in samples)
+        assert len({s.name for s in samples}) == len(samples)
+
+
+class TestSyscallResult:
+    def test_result_is_not_a_boolean(self):
+        result = SyscallResult(value=True, elapsed_ns=1, start_ns=0, finish_ns=1)
+        with pytest.raises(TypeError, match="not a boolean"):
+            bool(result)
+
+    def test_fields_consistent(self):
+        result = SyscallResult(value=7, elapsed_ns=5, start_ns=10, finish_ns=15)
+        assert result.finish_ns - result.start_ns == result.elapsed_ns
+
+
+class TestReadResult:
+    def test_eof_when_zero_bytes(self):
+        assert ReadResult(0).eof
+        assert not ReadResult(1).eof
+
+    def test_synthetic_reads_have_no_data(self):
+        result = ReadResult(100)
+        assert result.data is None
+
+    def test_real_reads_carry_bytes(self):
+        result = ReadResult(3, b"abc")
+        assert result.data == b"abc"

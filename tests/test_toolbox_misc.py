@@ -1,0 +1,161 @@
+"""Outlier rejection, parameter repository, timers, microbenchmarks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Kernel, syscalls as sc
+from repro.toolbox.microbench import run_all
+from repro.toolbox.outliers import mad_clip, sigma_clip, split_by_threshold
+from repro.toolbox.repository import ParameterRepository
+from repro.toolbox.timers import Stopwatch, now, time_call
+from tests.conftest import MIB, small_config
+
+floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestOutliers:
+    def test_sigma_clip_removes_extreme_point(self):
+        values = [10.0] * 20 + [10_000.0]
+        assert 10_000.0 not in sigma_clip(values)
+
+    def test_sigma_clip_keeps_clean_data(self):
+        values = [9.0, 10.0, 11.0, 10.0]
+        assert sigma_clip(values) == values
+
+    def test_sigma_clip_small_samples_untouched(self):
+        assert sigma_clip([1.0, 100.0]) == [1.0, 100.0]
+
+    def test_mad_clip_robust_to_many_outliers(self):
+        values = [9.0, 10.0, 11.0] * 4 + [10_000.0, 20_000.0, 30_000.0]
+        cleaned = mad_clip(values)
+        assert cleaned == [9.0, 10.0, 11.0] * 4
+
+    def test_mad_clip_zero_mad_keeps_everything(self):
+        values = [5.0] * 10 + [9.0]
+        assert mad_clip(values) == values
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            sigma_clip([1.0, 2.0, 3.0], nsigma=0)
+        with pytest.raises(ValueError):
+            mad_clip([1.0, 2.0, 3.0], nmads=-1)
+
+    def test_split_by_threshold(self):
+        low, high = split_by_threshold([1.0, 5.0, 2.0, 9.0], threshold=3.0)
+        assert low == [0, 2]
+        assert high == [1, 3]
+
+    @settings(max_examples=40, deadline=None)
+    @given(values=st.lists(floats, min_size=3, max_size=50))
+    def test_clips_never_grow_the_sample(self, values):
+        assert len(sigma_clip(values)) <= len(values)
+        assert len(mad_clip(values)) <= len(values)
+        assert set(mad_clip(values)) <= set(values)
+
+
+class TestRepository:
+    def test_set_get(self):
+        repo = ParameterRepository("linux22")
+        repo.set("disk.random_access_ns", 8e6, units="ns")
+        assert repo.get("disk.random_access_ns") == 8e6
+
+    def test_missing_key_raises_with_hint(self):
+        repo = ParameterRepository()
+        with pytest.raises(KeyError, match="microbenchmark"):
+            repo.get("mem.copy_bandwidth")
+
+    def test_default_used_when_absent(self):
+        repo = ParameterRepository()
+        assert repo.get("x", default=5.0) == 5.0
+
+    def test_ensure_measures_once(self):
+        repo = ParameterRepository()
+        calls = []
+        def measure():
+            calls.append(1)
+            return 42.0
+        assert repo.ensure("a.b", measure) == 42.0
+        assert repo.ensure("a.b", measure) == 42.0
+        assert len(calls) == 1
+
+    def test_round_trip_through_file(self, tmp_path):
+        repo = ParameterRepository("netbsd15")
+        repo.set("k1", 1.5, units="ns", source="test", measured_at_ns=9)
+        repo.set("k2", 2.5)
+        path = tmp_path / "params.json"
+        repo.save(path)
+        loaded = ParameterRepository.load(path)
+        assert loaded.platform == "netbsd15"
+        assert loaded.get("k1") == 1.5
+        assert loaded.entry("k1").units == "ns"
+        assert loaded.entry("k1").measured_at_ns == 9
+        assert len(loaded) == 2
+
+    def test_items_sorted(self):
+        repo = ParameterRepository()
+        repo.set("z", 1)
+        repo.set("a", 2)
+        assert [k for k, _ in repo.items()] == ["a", "z"]
+
+
+class TestTimers:
+    def test_now_returns_sim_time(self, kernel):
+        def app():
+            t0 = yield from now()
+            yield sc.sleep(5_000)
+            t1 = yield from now()
+            return t1 - t0
+        delta = kernel.run_process(app(), "t")
+        assert delta >= 5_000
+
+    def test_time_call_returns_value_and_elapsed(self, kernel):
+        def app():
+            value, elapsed = yield from time_call(sc.sleep(7_000))
+            return value, elapsed
+        value, elapsed = kernel.run_process(app(), "t")
+        assert value is None
+        assert elapsed == 7_000
+
+    def test_stopwatch_laps(self, kernel):
+        def app():
+            watch = Stopwatch()
+            yield from watch.start()
+            yield sc.sleep(1_000)
+            yield from watch.stop()
+            yield from watch.start()
+            yield sc.sleep(2_000)
+            yield from watch.stop()
+            return watch.laps, watch.total_ns
+        laps, total = kernel.run_process(app(), "t")
+        assert len(laps) == 2
+        assert laps[0] >= 1_000 and laps[1] >= 2_000
+        assert total == sum(laps)
+
+    def test_stopwatch_stop_without_start(self, kernel):
+        def app():
+            watch = Stopwatch()
+            try:
+                yield from watch.stop()
+            except RuntimeError:
+                return "caught"
+        assert kernel.run_process(app(), "t") == "caught"
+
+
+class TestMicrobench:
+    def test_run_all_produces_ordered_parameters(self):
+        kernel = Kernel(small_config())
+        repo = run_all(kernel, file_bytes=8 * MIB, unit_candidates=(MIB, 2 * MIB))
+        # Memory is much faster than disk, per byte and per access.
+        assert repo.get("mem.copy_bandwidth") > 3 * repo.get(
+            "disk.sequential_bandwidth"
+        )
+        assert repo.get("disk.random_access_ns") > 100 * repo.get("mem.page_zero_ns")
+        assert repo.get("mem.page_zero_ns") > repo.get("mem.touch_resident_ns")
+        assert repo.get("fccd.access_unit_bytes") in (MIB, 2 * MIB)
+        assert repo.platform == "linux22"
+
+    def test_results_match_machine_constants(self):
+        kernel = Kernel(small_config())
+        repo = run_all(kernel, file_bytes=8 * MIB, unit_candidates=(MIB,))
+        assert repo.get("mem.touch_resident_ns") == kernel.config.mem_touch_ns
+        assert repo.get("mem.page_zero_ns") >= kernel.config.page_zero_ns

@@ -1,0 +1,136 @@
+"""Syscall tracing facility."""
+
+import random
+
+import pytest
+
+from repro.icl.fccd import FCCD
+from repro.sim import Kernel, syscalls as sc
+from repro.sim.trace import SyscallTrace
+from repro.workloads.files import make_file
+from tests.conftest import KIB, MIB, small_config
+
+
+class TestTraceBasics:
+    def test_records_syscalls_in_order(self, kernel):
+        trace = SyscallTrace().install(kernel)
+
+        def app():
+            fd = (yield sc.create("/mnt0/f")).value
+            yield sc.write(fd, 100)
+            yield sc.close(fd)
+        kernel.run_process(app(), "writer")
+        names = [r.syscall for r in trace]
+        assert names == ["create", "write", "close"]
+        trace.remove()
+
+    def test_records_carry_process_identity_and_timing(self, kernel):
+        trace = SyscallTrace().install(kernel)
+
+        def app():
+            yield sc.sleep(5_000)
+        kernel.run_process(app(), "sleeper")
+        record = trace.by_syscall("sleep")[0]
+        assert record.process_name == "sleeper"
+        assert record.elapsed_ns == 5_000
+        assert "sleep" in str(record)
+
+    def test_counts_and_totals(self, kernel):
+        trace = SyscallTrace().install(kernel)
+
+        def app():
+            for _ in range(3):
+                yield sc.sleep(1_000)
+            yield sc.gettime()
+        kernel.run_process(app(), "app")
+        assert trace.counts() == {"sleep": 3, "gettime": 1}
+        assert trace.total_elapsed_ns("sleep") == 3_000
+        assert len(trace) == 4
+
+    def test_by_process_filters(self, kernel):
+        trace = SyscallTrace().install(kernel)
+
+        def app():
+            yield sc.sleep(10)
+        kernel.spawn(app(), "a")
+        kernel.spawn(app(), "b")
+        kernel.run()
+        assert len(trace.by_process("a")) == 1
+        assert len(trace.by_process("b")) == 1
+
+    def test_capacity_bounds_memory(self, kernel):
+        trace = SyscallTrace(capacity=5).install(kernel)
+
+        def app():
+            for _ in range(20):
+                yield sc.gettime()
+        kernel.run_process(app(), "app")
+        assert len(trace) == 5
+        assert len(trace.tail(3)) == 3
+
+    def test_remove_stops_recording(self, kernel):
+        trace = SyscallTrace().install(kernel)
+        trace.remove()
+
+        def app():
+            yield sc.sleep(1)
+        kernel.run_process(app(), "app")
+        assert len(trace) == 0
+
+    def test_double_install_rejected(self, kernel):
+        trace = SyscallTrace().install(kernel)
+        with pytest.raises(RuntimeError):
+            SyscallTrace().install(kernel)
+        with pytest.raises(RuntimeError):
+            trace.install(kernel)
+        trace.remove()
+
+    def test_context_manager_detaches(self, kernel):
+        with SyscallTrace().install(kernel) as trace:
+            def app():
+                yield sc.sleep(1)
+            kernel.run_process(app(), "app")
+            assert len(trace) == 1
+        def app2():
+            yield sc.sleep(1)
+        kernel.run_process(app2(), "app2")
+        assert len(trace) == 1
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SyscallTrace(capacity=0)
+
+
+class TestTraceAsDebuggingTool:
+    def test_fccd_probe_pattern_is_visible(self, kernel):
+        """The trace shows FCCD issuing exactly one pread per window."""
+        kernel.run_process(make_file("/mnt0/f", 8 * MIB), "setup")
+        trace = SyscallTrace().install(kernel)
+        fccd = FCCD(
+            rng=random.Random(1),
+            access_unit_bytes=4 * MIB,
+            prediction_unit_bytes=1 * MIB,
+        )
+
+        def app():
+            return (yield from fccd.plan_file("/mnt0/f"))
+        kernel.run_process(app(), "prober")
+        probes = [r for r in trace.by_syscall("pread") if r.args[2] == 1]
+        assert len(probes) == 8  # 8 MiB / 1 MiB prediction units
+        offsets = [r.args[1] for r in probes]
+        assert offsets == sorted(offsets)
+        trace.remove()
+
+    def test_exceptions_do_not_break_tracing(self, kernel):
+        trace = SyscallTrace().install(kernel)
+
+        def app():
+            try:
+                yield sc.open("/mnt0/ghost")
+            except Exception:
+                pass
+            yield sc.sleep(1)
+        kernel.run_process(app(), "app")
+        assert trace.counts()["open"] == 1
+        assert trace.counts()["sleep"] == 1
+        trace.remove()

@@ -1,0 +1,82 @@
+"""Path parsing and the mount table."""
+
+import pytest
+
+from repro.sim.errors import FileNotFound, InvalidArgument
+from repro.sim.fs.ffs import FFS
+from repro.sim.fs.vfs import MountTable, PathName, join
+
+
+class TestPathName:
+    def test_parse_mount_and_components(self):
+        parsed = PathName.parse("/mnt0/dir/file.txt")
+        assert parsed.mount == "mnt0"
+        assert parsed.components == ("dir", "file.txt")
+
+    def test_parse_mount_point_alone(self):
+        parsed = PathName.parse("/mnt3")
+        assert parsed.mount == "mnt3"
+        assert parsed.components == ()
+
+    def test_parse_collapses_duplicate_slashes(self):
+        parsed = PathName.parse("/mnt0//a///b")
+        assert parsed.components == ("a", "b")
+
+    def test_relative_path_rejected(self):
+        with pytest.raises(InvalidArgument):
+            PathName.parse("mnt0/a")
+
+    def test_bare_root_rejected(self):
+        with pytest.raises(InvalidArgument):
+            PathName.parse("/")
+
+    def test_dot_components_rejected(self):
+        with pytest.raises(InvalidArgument):
+            PathName.parse("/mnt0/../secret")
+
+    def test_dirname_and_basename(self):
+        parsed = PathName.parse("/mnt0/a/b")
+        assert str(parsed.dirname) == "/mnt0/a"
+        assert parsed.basename == "b"
+
+    def test_dirname_of_mount_point_rejected(self):
+        with pytest.raises(InvalidArgument):
+            PathName.parse("/mnt0").dirname
+
+    def test_str_round_trips(self):
+        for path in ("/mnt0/a/b", "/mnt1/x"):
+            assert str(PathName.parse(path)) == path
+
+    def test_join(self):
+        assert join("mnt0", "a/", "/b") == "/mnt0/a/b"
+
+
+class TestMountTable:
+    def _fs(self, fs_id=0):
+        return FFS(fs_id=fs_id, total_blocks=1024, block_bytes=4096,
+                   blocks_per_cg=512, inodes_per_cg=64)
+
+    def test_mount_and_lookup(self):
+        table = MountTable()
+        fs = self._fs()
+        table.mount("mnt0", fs, disk_id=0)
+        got, disk_id = table.filesystem("mnt0")
+        assert got is fs and disk_id == 0
+
+    def test_duplicate_mount_rejected(self):
+        table = MountTable()
+        table.mount("mnt0", self._fs(), 0)
+        with pytest.raises(InvalidArgument):
+            table.mount("mnt0", self._fs(1), 1)
+
+    def test_missing_mount_raises(self):
+        with pytest.raises(FileNotFound):
+            MountTable().filesystem("nowhere")
+
+    def test_names_and_contains(self):
+        table = MountTable()
+        table.mount("a", self._fs(0), 0)
+        table.mount("b", self._fs(1), 1)
+        assert table.names() == ["a", "b"]
+        assert "a" in table and "c" not in table
+        assert len(table) == 2

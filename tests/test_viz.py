@@ -1,0 +1,94 @@
+"""Terminal charts."""
+
+import pytest
+
+from repro.experiments.harness import FigureResult
+from repro.experiments.viz import bar_chart, line_chart, plot_figure
+
+
+class TestLineChart:
+    def test_plots_each_series_marker(self):
+        chart = line_chart(
+            {"linear": [(0, 0), (10, 10)], "gray": [(0, 0), (10, 5)]},
+            title="scan",
+        )
+        assert "scan" in chart
+        assert "o linear" in chart
+        assert "x gray" in chart
+        assert "o" in chart.splitlines()[1]
+
+    def test_axis_annotations_show_extremes(self):
+        chart = line_chart({"s": [(1, 2), (9, 20)]})
+        assert "20" in chart
+        assert "9" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"s": []})
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"s": [(0, 1)]}, width=2)
+
+    def test_constant_series_renders(self):
+        chart = line_chart({"flat": [(0, 5), (1, 5), (2, 5)]})
+        assert chart.count("o") >= 3
+
+    def test_monotone_series_descends_on_canvas(self):
+        chart = line_chart({"up": [(0, 0), (5, 5), (10, 10)]}, height=11, width=21)
+        rows = [i for i, line in enumerate(chart.splitlines()) if "o" in line]
+        assert rows == sorted(rows)  # increasing y appears on higher rows
+
+
+class TestBarChart:
+    def test_longest_bar_is_peak(self):
+        chart = bar_chart([("a", 1.0), ("b", 4.0)], width=20, unit="s")
+        lines = chart.splitlines()
+        assert lines[1].count("█") > lines[0].count("█")
+        assert "4s" in lines[1]
+
+    def test_labels_aligned(self):
+        chart = bar_chart([("short", 1.0), ("a-long-label", 2.0)])
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([])
+
+
+class TestPlotFigure:
+    def test_numeric_x_becomes_line_chart(self):
+        result = FigureResult("figX", "demo", columns=["size_mb", "linear_s", "gray_s"])
+        result.add(size_mb=32, linear_s=1.0, gray_s=1.0)
+        result.add(size_mb=128, linear_s=7.0, gray_s=2.0)
+        chart = plot_figure(result)
+        assert chart is not None
+        assert "linear_s" in chart and "gray_s" in chart
+
+    def test_categorical_rows_become_bars(self):
+        result = FigureResult("figY", "demo", columns=["variant", "time_s"])
+        result.add(variant="unmodified", time_s=8.0)
+        result.add(variant="gb", time_s=4.0)
+        chart = plot_figure(result)
+        assert chart is not None
+        assert "unmodified" in chart and "█" in chart
+
+    def test_std_columns_excluded_from_lines(self):
+        result = FigureResult(
+            "figZ", "demo", columns=["epoch", "time_s", "time_s_std"]
+        )
+        result.add(epoch=0, time_s=1.0, time_s_std=0.1)
+        result.add(epoch=1, time_s=2.0, time_s_std=0.1)
+        chart = plot_figure(result)
+        assert "time_s_std" not in chart
+
+    def test_empty_result_gives_none(self):
+        assert plot_figure(FigureResult("f", "t", columns=["a"])) is None
+
+    def test_real_driver_output_plots(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["repro", "table2", "--plot"]) == 0

@@ -1,0 +1,125 @@
+"""Workload generators: files, text, records."""
+
+import random
+
+import pytest
+
+from repro.apps.fastsort import RECORD_BYTES
+from repro.sim import syscalls as sc
+from repro.workloads.files import age_directory, create_files, make_file, populate_directory
+from repro.workloads.records import is_sorted_records, make_record_blob, record_count
+from repro.workloads.text import count_matches, make_text, make_text_with_matches
+from tests.conftest import KIB
+
+
+class TestFiles:
+    def test_make_file_synthetic(self, kernel):
+        kernel.run_process(make_file("/mnt0/f", 10_000), "t")
+        assert kernel.oracle.inode_of("/mnt0/f").size == 10_000
+
+    def test_make_file_real_bytes(self, kernel):
+        kernel.run_process(make_file("/mnt0/f", b"abc" * 100), "t")
+
+        def read():
+            fd = (yield sc.open("/mnt0/f")).value
+            data = (yield sc.pread(fd, 0, 300)).value.data
+            yield sc.close(fd)
+            return data
+        assert kernel.run_process(read(), "t") == b"abc" * 100
+
+    def test_create_files_with_per_file_sizes(self, kernel):
+        def app():
+            yield sc.mkdir("/mnt0/d")
+            return (yield from create_files("/mnt0/d", 3, [100, 200, 300]))
+        paths = kernel.run_process(app(), "t")
+        sizes = [kernel.oracle.inode_of(p).size for p in paths]
+        assert sizes == [100, 200, 300]
+
+    def test_create_files_size_count_mismatch(self, kernel):
+        def app():
+            yield sc.mkdir("/mnt0/d")
+            yield from create_files("/mnt0/d", 3, [100])
+        with pytest.raises(ValueError):
+            kernel.run_process(app(), "t")
+
+    def test_custom_names(self, kernel):
+        def app():
+            return (
+                yield from populate_directory("/mnt0/d", 2, 100)
+            )
+        kernel.run_process(app(), "t")
+
+        def named():
+            yield sc.mkdir("/mnt0/e")
+            return (
+                yield from create_files("/mnt0/e", 2, 100, names=["zz", "aa"])
+            )
+        paths = kernel.run_process(named(), "t")
+        assert paths == ["/mnt0/e/zz", "/mnt0/e/aa"]
+
+    def test_age_directory_keeps_population_constant(self, kernel):
+        def setup():
+            return (yield from populate_directory("/mnt0/d", 20, 8 * KIB))
+        kernel.run_process(setup(), "t")
+
+        def age():
+            return (
+                yield from age_directory("/mnt0/d", 5, random.Random(1))
+            )
+        assert kernel.run_process(age(), "t") == 5
+
+        def count():
+            return len((yield sc.readdir("/mnt0/d")).value)
+        assert kernel.run_process(count(), "t") == 20
+
+
+class TestText:
+    def test_exact_length(self):
+        assert len(make_text(12345)) == 12345
+
+    def test_deterministic(self):
+        assert make_text(1000) == make_text(1000)
+
+    def test_matches_planted_at_offsets(self):
+        blob = make_text_with_matches(10_000, b"NEEDLE", [0, 500, 9_000])
+        assert blob[0:6] == b"NEEDLE"
+        assert blob[500:506] == b"NEEDLE"
+        assert count_matches(blob, b"NEEDLE") == 3
+
+    def test_filler_does_not_contain_pattern(self):
+        blob = make_text_with_matches(50_000, b"ZQX", [100])
+        assert count_matches(blob, b"ZQX") == 1
+
+    def test_overlapping_matches_rejected(self):
+        with pytest.raises(ValueError):
+            make_text_with_matches(1000, b"ABCDEF", [10, 12])
+
+    def test_match_must_fit(self):
+        with pytest.raises(ValueError):
+            make_text_with_matches(10, b"TOOLONG", [8])
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            make_text_with_matches(100, b"", [0])
+
+
+class TestRecords:
+    def test_blob_has_exact_record_size(self):
+        blob = make_record_blob(50)
+        assert len(blob) == 50 * RECORD_BYTES
+
+    def test_record_count(self):
+        assert record_count(1050) == 10
+
+    def test_blob_is_unsorted_then_sortable(self):
+        blob = make_record_blob(200, rng=random.Random(3))
+        assert not is_sorted_records(blob)
+        records = sorted(
+            blob[i : i + RECORD_BYTES] for i in range(0, len(blob), RECORD_BYTES)
+        )
+        assert is_sorted_records(b"".join(records))
+
+    def test_payload_encodes_original_position(self):
+        blob = make_record_blob(5, key_bytes=10)
+        record_3 = blob[3 * RECORD_BYTES : 4 * RECORD_BYTES]
+        assert b"%09d" % 3 in record_3
