@@ -9,9 +9,46 @@ in the simulator or the ICLs fails loudly.
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+Drivers execute through the parallel trial runner
+(:mod:`repro.experiments.runner`).  Options:
+
+``--repro-jobs N``
+    fan independent trials out over N worker processes (default 1;
+    results are bit-identical regardless of N).
+``--repro-cache-dir DIR``
+    where completed trials are persisted (default ``.repro-cache/``, or
+    ``$REPRO_CACHE_DIR``).  A repeated benchmark run re-simulates
+    nothing — the trial telemetry printed after each table shows
+    cached vs simulated counts.
+``--repro-no-cache``
+    always re-simulate.
 """
 
 import pytest
+
+from repro.experiments import runner
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro", "reproduction trial runner")
+    group.addoption(
+        "--repro-jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent simulation trials",
+    )
+    group.addoption(
+        "--repro-cache-dir",
+        default=None,
+        help="trial result cache directory (default .repro-cache/)",
+    )
+    group.addoption(
+        "--repro-no-cache",
+        action="store_true",
+        default=False,
+        help="disable the trial result cache (always re-simulate)",
+    )
 
 
 def run_once(benchmark, fn, *args, **kwargs):
@@ -20,10 +57,20 @@ def run_once(benchmark, fn, *args, **kwargs):
 
 
 @pytest.fixture
-def reproduce(benchmark):
+def reproduce(benchmark, pytestconfig):
+    jobs = pytestconfig.getoption("--repro-jobs")
+    use_cache = not pytestconfig.getoption("--repro-no-cache")
+    cache_dir = pytestconfig.getoption("--repro-cache-dir")
+
     def _reproduce(fn, *args, **kwargs):
-        result = run_once(benchmark, fn, *args, **kwargs)
+        with runner.configuration(jobs=jobs, use_cache=use_cache, cache_dir=cache_dir):
+            runner.drain_stats()
+            result = run_once(benchmark, fn, *args, **kwargs)
+            stats = runner.drain_stats()
         print()
         print(result.render())
+        for entry in stats:
+            print(f"[runner] {entry.summary()}")
         return result
+
     return _reproduce

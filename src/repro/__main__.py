@@ -5,14 +5,24 @@ Usage::
     python -m repro list
     python -m repro fig2
     python -m repro fig7 table1 ablation-threshold
-    python -m repro all
+    python -m repro run --all
+    python -m repro all --jobs 4
+    python -m repro fig1 --jobs 8 --no-cache
+    python -m repro fig5 --cache-dir /tmp/repro-cache
+
+Trials fan out over a process pool (``--jobs N``) and completed trials
+are cached on disk (default ``.repro-cache/``, or ``$REPRO_CACHE_DIR``;
+``--no-cache`` disables, ``--cache-dir`` relocates).  Re-running an
+unchanged experiment is instant; per-experiment trial telemetry is
+printed to stderr.
 """
 
 from __future__ import annotations
 
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, List
 
+from repro.experiments import runner
 from repro.experiments.ablations import (
     ablation_mac_increment,
     ablation_probe_placement,
@@ -50,16 +60,75 @@ EXPERIMENTS: Dict[str, Callable] = {
     "extension-lfs": lfs_ordering_experiment,
 }
 
+USAGE = "usage: python -m repro <name> [<name> ...] [--jobs N] [--no-cache] [--cache-dir DIR] [--plot]"
+
+
+def _print_stats() -> None:
+    for stats in runner.drain_stats():
+        print(f"[runner] {stats.summary()}", file=sys.stderr, flush=True)
+
 
 def main(argv) -> int:
-    names = [a for a in argv[1:] if a != "--plot"]
-    plot = "--plot" in argv[1:]
+    args = list(argv[1:])
+    plot = False
+    jobs = 1
+    use_cache = True
+    cache_dir = None
+    names: List[str] = []
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "--plot":
+            plot = True
+        elif arg == "--no-cache":
+            use_cache = False
+        elif arg in ("--jobs", "--cache-dir"):
+            if i + 1 >= len(args):
+                print(f"{arg} needs a value", file=sys.stderr)
+                print(USAGE, file=sys.stderr)
+                return 2
+            value = args[i + 1]
+            i += 1
+            if arg == "--jobs":
+                try:
+                    jobs = int(value)
+                except ValueError:
+                    jobs = 0
+                if jobs < 1:
+                    print("--jobs needs a positive integer", file=sys.stderr)
+                    return 2
+            else:
+                cache_dir = value
+        elif arg.startswith("--jobs="):
+            try:
+                jobs = int(arg.split("=", 1)[1])
+            except ValueError:
+                jobs = 0
+            if jobs < 1:
+                print("--jobs needs a positive integer", file=sys.stderr)
+                return 2
+        elif arg.startswith("--cache-dir="):
+            cache_dir = arg.split("=", 1)[1]
+        elif arg.startswith("-"):
+            print(f"unknown option {arg}", file=sys.stderr)
+            print(USAGE, file=sys.stderr)
+            return 2
+        else:
+            names.append(arg)
+        i += 1
+
+    # `run` is an alias so `python -m repro run --all` reads naturally.
+    if names and names[0] == "run":
+        names = names[1:] or ["all"]
+    if "--all" in names:
+        names = [n for n in names if n != "--all"] or ["all"]
+
     if not names or names == ["list"]:
         print("available experiments:")
         for name in EXPERIMENTS:
             print(f"  {name}")
         print("  all")
-        print("\nusage: python -m repro <name> [<name> ...]")
+        print(f"\n{USAGE}")
         return 0 if names else 2
     if names == ["all"]:
         names = list(EXPERIMENTS)
@@ -68,17 +137,21 @@ def main(argv) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print("run `python -m repro list` for the catalogue", file=sys.stderr)
         return 2
-    for name in names:
-        result = EXPERIMENTS[name]()
-        print(result.render())
-        if plot:
-            from repro.experiments.viz import plot_figure
 
-            chart = plot_figure(result)
-            if chart:
-                print()
-                print(chart)
-        print()
+    with runner.configuration(jobs=jobs, use_cache=use_cache, cache_dir=cache_dir):
+        runner.drain_stats()
+        for name in names:
+            result = EXPERIMENTS[name]()
+            print(result.render())
+            _print_stats()
+            if plot:
+                from repro.experiments.viz import plot_figure
+
+                chart = plot_figure(result)
+                if chart:
+                    print()
+                    print(chart)
+            print()
     return 0
 
 

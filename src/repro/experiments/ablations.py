@@ -8,6 +8,11 @@ a regression-checked experiment:
 * sort-by-probe-time vs a fixed hit/miss threshold (mis-calibration);
 * MAC's conservative increment schedule vs fixed and aggressive ones;
 * directory-refresh cadence (never / periodic / on-degradation).
+
+As in :mod:`repro.experiments.figures`, each driver is a thin assembly
+over module-level trial functions dispatched through
+:mod:`repro.experiments.runner`, so ablation sweeps parallelise and
+cache like the figures do.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from typing import Dict, List, Optional
 
 from repro.experiments.figures import scaled_config
 from repro.experiments.harness import FigureResult
+from repro.experiments.runner import TrialSpec, run_trials
 from repro.icl.fccd import FCCD
 from repro.icl.fldc import FLDC
 from repro.icl.mac import MAC
@@ -31,6 +37,38 @@ MIB = 1024 * 1024
 # ======================================================================
 # Probe placement: random (paper) vs fixed offsets
 # ======================================================================
+def _probe_placement_trial(
+    seed: int, *, config: MachineConfig, file_mb: int, placement: str
+) -> Dict[str, float]:
+    """Second prober's verdict after a stale first probe, one placement."""
+    kernel = Kernel(config)
+    kernel.run_process(make_file("/mnt0/f", file_mb * MIB), "setup")
+    kernel.oracle.flush_file_cache()
+
+    def make_layer(offset_seed):
+        return FCCD(
+            rng=random.Random(offset_seed),
+            access_unit_bytes=8 * MIB,
+            prediction_unit_bytes=2 * MIB,
+            probe_placement=placement,
+        )
+
+    def probe(layer):
+        def app():
+            return (yield from layer.plan_file("/mnt0/f"))
+
+        return kernel.run_process(app(), "probe")
+
+    probe(make_layer(seed))             # the process that "terminates"
+    plan = probe(make_layer(seed + 1))  # the victim prober
+    predicted = sum(1 for s in plan.segments if s.mean_probe_ns < 1_000_000)
+    return {
+        "segments": len(plan.segments),
+        "predicted_cached": predicted,
+        "truly_cached_fraction": kernel.oracle.cached_fraction("/mnt0/f"),
+    }
+
+
 def ablation_probe_placement(
     file_mb: int = 64,
     config: Optional[MachineConfig] = None,
@@ -56,32 +94,24 @@ def ablation_probe_placement(
         ],
         scale_note=f"{file_mb} MB cold file; first prober exits before accessing",
     )
-    for placement in ("fixed", "random"):
-        kernel = Kernel(config)
-        kernel.run_process(make_file("/mnt0/f", file_mb * MIB), "setup")
-        kernel.oracle.flush_file_cache()
-
-        def make_layer(offset_seed):
-            return FCCD(
-                rng=random.Random(offset_seed),
-                access_unit_bytes=8 * MIB,
-                prediction_unit_bytes=2 * MIB,
-                probe_placement=placement,
-            )
-
-        def probe(layer):
-            def app():
-                return (yield from layer.plan_file("/mnt0/f"))
-            return kernel.run_process(app(), "probe")
-
-        probe(make_layer(seed))           # the process that "terminates"
-        plan = probe(make_layer(seed + 1))  # the victim prober
-        predicted = sum(1 for s in plan.segments if s.mean_probe_ns < 1_000_000)
+    placements = ("fixed", "random")
+    specs = [
+        TrialSpec(
+            experiment_id="ablation-probe-placement",
+            trial_index=i,
+            fn=_probe_placement_trial,
+            params=dict(config=config, file_mb=file_mb, placement=placement),
+            seed=seed,
+        )
+        for i, placement in enumerate(placements)
+    ]
+    values = run_trials(specs)
+    for placement, verdict in zip(placements, values):
         result.add(
             placement=placement,
-            segments=len(plan.segments),
-            predicted_cached=predicted,
-            truly_cached_fraction=kernel.oracle.cached_fraction("/mnt0/f"),
+            segments=verdict["segments"],
+            predicted_cached=verdict["predicted_cached"],
+            truly_cached_fraction=verdict["truly_cached_fraction"],
         )
     result.notes.append(
         "fixed offsets report the file cached after a stale probe; random "
@@ -93,6 +123,61 @@ def ablation_probe_placement(
 # ======================================================================
 # Differentiation: sort-by-probe-time (paper) vs fixed threshold
 # ======================================================================
+def _threshold_trial(
+    seed: int,
+    *,
+    config: MachineConfig,
+    file_mb: int,
+    cached_mb: int,
+    strategy: str,
+    threshold_ns: Optional[int],
+) -> float:
+    """Scan seconds for one differentiation strategy."""
+    kernel = Kernel(config)
+    kernel.run_process(make_file("/mnt0/f", file_mb * MIB), "setup")
+    kernel.oracle.flush_file_cache()
+
+    def warm():
+        fd = (yield sc.open("/mnt0/f")).value
+        yield sc.pread(fd, (file_mb - cached_mb) * MIB, cached_mb * MIB)
+        yield sc.close(fd)
+
+    kernel.run_process(warm(), "warm")
+    layer = FCCD(
+        rng=random.Random(seed), access_unit_bytes=8 * MIB,
+        prediction_unit_bytes=2 * MIB,
+    )
+
+    def sort_order(segments):
+        return sorted(segments, key=lambda s: (s.probe_ns, s.offset))
+
+    def threshold_order(segments):
+        cached = [s for s in segments if s.mean_probe_ns <= threshold_ns]
+        cold = [s for s in segments if s.mean_probe_ns > threshold_ns]
+        return sorted(cached, key=lambda s: s.offset) + sorted(
+            cold, key=lambda s: s.offset
+        )
+
+    order_key = sort_order if strategy == "sort" else threshold_order
+
+    def app():
+        fd = (yield sc.open("/mnt0/f")).value
+        size = (yield sc.fstat(fd)).value.size
+        segments = yield from layer.probe_fd(fd, size)
+        t0 = (yield sc.gettime()).value
+        for segment in order_key(segments):
+            offset = segment.offset
+            end = segment.offset + segment.length
+            while offset < end:
+                take = min(MIB, end - offset)
+                offset += (yield sc.pread(fd, offset, take)).value.nbytes
+        elapsed = (yield sc.gettime()).value - t0
+        yield sc.close(fd)
+        return elapsed
+
+    return kernel.run_process(app(), "scan") / 1e9
+
+
 def ablation_threshold_vs_sort(
     file_mb: int = 160,
     cached_mb: int = 60,
@@ -113,66 +198,35 @@ def ablation_threshold_vs_sort(
         columns=["strategy", "scan_s", "needs_calibration"],
         scale_note=f"{file_mb} MB file, {cached_mb} MB tail cached",
     )
-
-    def build() -> Kernel:
-        kernel = Kernel(config)
-        kernel.run_process(make_file("/mnt0/f", file_mb * MIB), "setup")
-        kernel.oracle.flush_file_cache()
-
-        def warm():
-            fd = (yield sc.open("/mnt0/f")).value
-            yield sc.pread(fd, (file_mb - cached_mb) * MIB, cached_mb * MIB)
-            yield sc.close(fd)
-        kernel.run_process(warm(), "warm")
-        return kernel
-
-    def scan_with(order_key) -> float:
-        kernel = build()
-        layer = FCCD(
-            rng=random.Random(seed), access_unit_bytes=8 * MIB,
-            prediction_unit_bytes=2 * MIB,
-        )
-
-        def app():
-            fd = (yield sc.open("/mnt0/f")).value
-            size = (yield sc.fstat(fd)).value.size
-            segments = yield from layer.probe_fd(fd, size)
-            t0 = (yield sc.gettime()).value
-            for segment in order_key(segments):
-                offset = segment.offset
-                end = segment.offset + segment.length
-                while offset < end:
-                    take = min(MIB, end - offset)
-                    offset += (yield sc.pread(fd, offset, take)).value.nbytes
-            elapsed = (yield sc.gettime()).value - t0
-            yield sc.close(fd)
-            return elapsed
-        return kernel.run_process(app(), "scan") / 1e9
-
-    def sort_order(segments):
-        return sorted(segments, key=lambda s: (s.probe_ns, s.offset))
-
-    def threshold_order(threshold_ns):
-        def order(segments):
-            cached = [s for s in segments if s.mean_probe_ns <= threshold_ns]
-            cold = [s for s in segments if s.mean_probe_ns > threshold_ns]
-            return sorted(cached, key=lambda s: s.offset) + sorted(
-                cold, key=lambda s: s.offset
-            )
-        return order
-
     rows = [
-        ("sort (no threshold)", sort_order, False),
+        ("sort (no threshold)", "sort", None, False),
         # Calibrated correctly for this machine: between copy and disk.
-        ("threshold, calibrated", threshold_order(500_000), True),
+        ("threshold, calibrated", "threshold", 500_000, True),
         # Carried over from a machine with much faster storage: every
         # probe looks "slow", nothing is predicted cached.
-        ("threshold, miscalibrated", threshold_order(500), True),
+        ("threshold, miscalibrated", "threshold", 500, True),
     ]
-    for label, order_key, needs_cal in rows:
+    specs = [
+        TrialSpec(
+            experiment_id="ablation-threshold",
+            trial_index=i,
+            fn=_threshold_trial,
+            params=dict(
+                config=config,
+                file_mb=file_mb,
+                cached_mb=cached_mb,
+                strategy=strategy,
+                threshold_ns=threshold_ns,
+            ),
+            seed=seed,
+        )
+        for i, (_label, strategy, threshold_ns, _cal) in enumerate(rows)
+    ]
+    values = run_trials(specs)
+    for (label, _strategy, _threshold_ns, needs_cal), scan_s in zip(rows, values):
         result.add(
             strategy=label,
-            scan_s=scan_with(order_key),
+            scan_s=scan_s,
             needs_calibration=needs_cal,
         )
     result.notes.append(
@@ -185,6 +239,54 @@ def ablation_threshold_vs_sort(
 # ======================================================================
 # MAC increment schedule
 # ======================================================================
+def _mac_increment_trial(
+    seed: int, *, config: MachineConfig, competitor_mb: int, policy: str
+) -> Dict[str, float]:
+    """gb_alloc cost under one increment policy, against a live competitor."""
+    available = config.available_bytes
+    kernel = Kernel(config)
+    ps = config.page_size
+
+    def competitor():
+        region = (yield sc.vm_alloc(competitor_mb * MIB)).value
+        npages = competitor_mb * MIB // ps
+        yield sc.touch_range(region, 0, npages)
+        t0 = (yield sc.gettime()).value
+        while (yield sc.gettime()).value - t0 < 120 * 10**9:
+            yield sc.touch_range(region, 0, npages)
+            yield sc.sleep(30_000_000)
+
+    mac = MAC(
+        page_size=ps,
+        initial_increment_bytes=4 * MIB,
+        max_increment_bytes=32 * MIB,
+        increment_policy=policy,
+        rng=random.Random(seed),
+    )
+
+    def mac_app():
+        yield sc.sleep(400_000_000)
+        t0 = (yield sc.gettime()).value
+        allocation = yield from mac.gb_alloc(4 * MIB, available, MIB)
+        elapsed = (yield sc.gettime()).value - t0
+        granted = 0 if allocation is None else allocation.granted_bytes
+        if allocation is not None:
+            yield from mac.gb_free(allocation)
+        return granted, elapsed
+
+    kernel.spawn(competitor(), "competitor")
+    proc = kernel.spawn(mac_app(), "mac")
+    kernel.run()
+    granted, elapsed = proc.result
+    swapped = kernel.oracle.daemon_stats().anon_pages_swapped
+    return {
+        "granted_mb": granted / MIB,
+        "probe_touches": mac.stats.probe_touches,
+        "alloc_s": elapsed / 1e9,
+        "swapped_mb": swapped * ps / MIB,
+    }
+
+
 def ablation_mac_increment(
     config: Optional[MachineConfig] = None,
     competitor_mb: int = 40,
@@ -213,48 +315,25 @@ def ablation_mac_increment(
             f"{competitor_mb} MB"
         ),
     )
-    for policy in ("paper", "fixed", "aggressive"):
-        kernel = Kernel(config)
-        ps = config.page_size
-
-        def competitor():
-            region = (yield sc.vm_alloc(competitor_mb * MIB)).value
-            npages = competitor_mb * MIB // ps
-            yield sc.touch_range(region, 0, npages)
-            t0 = (yield sc.gettime()).value
-            while (yield sc.gettime()).value - t0 < 120 * 10**9:
-                yield sc.touch_range(region, 0, npages)
-                yield sc.sleep(30_000_000)
-
-        mac = MAC(
-            page_size=ps,
-            initial_increment_bytes=4 * MIB,
-            max_increment_bytes=32 * MIB,
-            increment_policy=policy,
-            rng=random.Random(seed),
+    policies = ("paper", "fixed", "aggressive")
+    specs = [
+        TrialSpec(
+            experiment_id="ablation-mac-increment",
+            trial_index=i,
+            fn=_mac_increment_trial,
+            params=dict(config=config, competitor_mb=competitor_mb, policy=policy),
+            seed=seed,
         )
-
-        def mac_app():
-            yield sc.sleep(400_000_000)
-            t0 = (yield sc.gettime()).value
-            allocation = yield from mac.gb_alloc(4 * MIB, available, MIB)
-            elapsed = (yield sc.gettime()).value - t0
-            granted = 0 if allocation is None else allocation.granted_bytes
-            if allocation is not None:
-                yield from mac.gb_free(allocation)
-            return granted, elapsed
-
-        kernel.spawn(competitor(), "competitor")
-        proc = kernel.spawn(mac_app(), "mac")
-        kernel.run()
-        granted, elapsed = proc.result
-        swapped = kernel.oracle.daemon_stats().anon_pages_swapped
+        for i, policy in enumerate(policies)
+    ]
+    values = run_trials(specs)
+    for policy, row in zip(policies, values):
         result.add(
             policy=policy,
-            granted_mb=granted / MIB,
-            probe_touches=mac.stats.probe_touches,
-            alloc_s=elapsed / 1e9,
-            swapped_mb=swapped * ps / MIB,
+            granted_mb=row["granted_mb"],
+            probe_touches=row["probe_touches"],
+            alloc_s=row["alloc_s"],
+            swapped_mb=row["swapped_mb"],
         )
     result.notes.append(
         "all policies find roughly the same available memory; the fixed "
@@ -267,6 +346,74 @@ def ablation_mac_increment(
 # ======================================================================
 # Directory refresh cadence
 # ======================================================================
+def _refresh_policy_trial(
+    seed: int,
+    *,
+    config: MachineConfig,
+    files: int,
+    epochs: int,
+    period: int,
+    degradation_factor: float,
+    policy: str,
+) -> Dict[str, float]:
+    """Total reader/refresh cost over the aging timeline for one policy."""
+    kernel = Kernel(config)
+    directory = "/mnt0/d"
+
+    def setup():
+        yield sc.mkdir(directory)
+        yield from create_files(directory, files, 8 * KIB)
+
+    kernel.run_process(setup(), "setup")
+    rng = random.Random(seed)
+    fldc = FLDC()
+    read_total = 0.0
+    refresh_total = 0.0
+    refreshes = 0
+    best = None
+    for epoch in range(epochs):
+        kernel.run_process(
+            age_directory(directory, 1, rng, create_size=8 * KIB), "age"
+        )
+        kernel.oracle.flush_file_cache()
+
+        def sweep():
+            names = (yield sc.readdir(directory)).value
+            order, _stats = yield from fldc.layout_order(
+                [f"{directory}/{n}" for n in names]
+            )
+            t0 = (yield sc.gettime()).value
+            for path in order:
+                fd = (yield sc.open(path)).value
+                while not (yield sc.read(fd, 64 * KIB)).value.eof:
+                    pass
+                yield sc.close(fd)
+            return (yield sc.gettime()).value - t0
+
+        elapsed = kernel.run_process(sweep(), "sweep") / 1e9
+        read_total += elapsed
+        best = elapsed if best is None else min(best, elapsed)
+
+        due = (
+            policy == "periodic" and (epoch + 1) % period == 0
+        ) or (
+            policy == "on-degradation" and elapsed > degradation_factor * best
+        )
+        if due:
+            def refresh():
+                t0 = (yield sc.gettime()).value
+                yield from fldc.refresh_directory(directory)
+                return (yield sc.gettime()).value - t0
+
+            refresh_total += kernel.run_process(refresh(), "refresh") / 1e9
+            refreshes += 1
+    return {
+        "read_s_total": read_total,
+        "refreshes": refreshes,
+        "refresh_s_total": refresh_total,
+    }
+
+
 def ablation_refresh_policy(
     files: int = 80,
     epochs: int = 40,
@@ -290,59 +437,31 @@ def ablation_refresh_policy(
         columns=["policy", "read_s_total", "refreshes", "refresh_s_total"],
         scale_note=f"{files} files, {epochs} epochs, 5+5 churn per epoch",
     )
-    for policy in ("never", "periodic", "on-degradation"):
-        kernel = Kernel(config)
-        directory = "/mnt0/d"
-
-        def setup():
-            yield sc.mkdir(directory)
-            yield from create_files(directory, files, 8 * KIB)
-        kernel.run_process(setup(), "setup")
-        rng = random.Random(seed)
-        fldc = FLDC()
-        read_total = 0.0
-        refresh_total = 0.0
-        refreshes = 0
-        best = None
-        for epoch in range(epochs):
-            kernel.run_process(
-                age_directory(directory, 1, rng, create_size=8 * KIB), "age"
-            )
-            kernel.oracle.flush_file_cache()
-
-            def sweep():
-                names = (yield sc.readdir(directory)).value
-                order, _stats = yield from fldc.layout_order(
-                    [f"{directory}/{n}" for n in names]
-                )
-                t0 = (yield sc.gettime()).value
-                for path in order:
-                    fd = (yield sc.open(path)).value
-                    while not (yield sc.read(fd, 64 * KIB)).value.eof:
-                        pass
-                    yield sc.close(fd)
-                return (yield sc.gettime()).value - t0
-            elapsed = kernel.run_process(sweep(), "sweep") / 1e9
-            read_total += elapsed
-            best = elapsed if best is None else min(best, elapsed)
-
-            due = (
-                policy == "periodic" and (epoch + 1) % period == 0
-            ) or (
-                policy == "on-degradation" and elapsed > degradation_factor * best
-            )
-            if due:
-                def refresh():
-                    t0 = (yield sc.gettime()).value
-                    yield from fldc.refresh_directory(directory)
-                    return (yield sc.gettime()).value - t0
-                refresh_total += kernel.run_process(refresh(), "refresh") / 1e9
-                refreshes += 1
+    policies = ("never", "periodic", "on-degradation")
+    specs = [
+        TrialSpec(
+            experiment_id="ablation-refresh-policy",
+            trial_index=i,
+            fn=_refresh_policy_trial,
+            params=dict(
+                config=config,
+                files=files,
+                epochs=epochs,
+                period=period,
+                degradation_factor=degradation_factor,
+                policy=policy,
+            ),
+            seed=seed,
+        )
+        for i, policy in enumerate(policies)
+    ]
+    values = run_trials(specs)
+    for policy, row in zip(policies, values):
         result.add(
             policy=policy,
-            read_s_total=read_total,
-            refreshes=refreshes,
-            refresh_s_total=refresh_total,
+            read_s_total=row["read_s_total"],
+            refreshes=row["refreshes"],
+            refresh_s_total=row["refresh_s_total"],
         )
     result.notes.append(
         "never refreshing pays compounding read degradation; both "
@@ -358,7 +477,8 @@ def ablation_refresh_policy(
 SECOND = 1_000_000_000
 
 
-def lfs_ordering_experiment(files: int = 60, seed: int = 109) -> FigureResult:
+def _lfs_ordering_trial(seed: int, *, files: int) -> Dict[str, float]:
+    """Read seconds per ordering on one aged LFS image (shared kernel)."""
     config = scaled_config(page_size=4 * KIB)
     kernel = Kernel(config, fs_class=LogStructuredFS)
     paths = [f"/mnt0/f{i:03d}" for i in range(files)]
@@ -366,6 +486,7 @@ def lfs_ordering_experiment(files: int = 60, seed: int = 109) -> FigureResult:
     def create_all():
         for path in paths:
             yield from make_file(path, 16 * KIB, sync=False)
+
     kernel.run_process(create_all(), "create")
 
     # Rewrite everything in a shuffled order, seconds apart: on LFS the
@@ -379,15 +500,10 @@ def lfs_ordering_experiment(files: int = 60, seed: int = 109) -> FigureResult:
             fd = (yield sc.open(path)).value
             yield sc.pwrite(fd, 0, 16 * KIB)
             yield sc.close(fd)
+
         kernel.run_process(rewrite(), "rewrite")
 
     fldc = FLDC()
-    result = FigureResult(
-        figure_id="extension-lfs",
-        title="FLDC knowledge modules on a log-structured filesystem",
-        columns=["ordering", "read_s"],
-        scale_note=f"{files} files rewritten in random order on LFS",
-    )
 
     def read_with(order_fn) -> float:
         def app():
@@ -399,6 +515,7 @@ def lfs_ordering_experiment(files: int = 60, seed: int = 109) -> FigureResult:
                     pass
                 yield sc.close(fd)
             return (yield sc.gettime()).value - t0
+
         kernel.oracle.flush_file_cache()
         return kernel.run_process(app(), "read") / 1e9
 
@@ -409,11 +526,34 @@ def lfs_ordering_experiment(files: int = 60, seed: int = 109) -> FigureResult:
         return shuffled, None
         yield  # unreachable; makes this a generator for `yield from`
 
-    result.add(ordering="random", read_s=read_with(random_gen))
-    result.add(ordering="i-number (FFS knowledge)", read_s=read_with(fldc.layout_order))
-    result.add(
-        ordering="write-time (LFS knowledge)", read_s=read_with(fldc.write_time_order)
+    return {
+        "random": read_with(random_gen),
+        "inumber": read_with(fldc.layout_order),
+        "write_time": read_with(fldc.write_time_order),
+    }
+
+
+def lfs_ordering_experiment(files: int = 60, seed: int = 109) -> FigureResult:
+    result = FigureResult(
+        figure_id="extension-lfs",
+        title="FLDC knowledge modules on a log-structured filesystem",
+        columns=["ordering", "read_s"],
+        scale_note=f"{files} files rewritten in random order on LFS",
     )
+    (times,) = run_trials(
+        [
+            TrialSpec(
+                experiment_id="extension-lfs",
+                trial_index=0,
+                fn=_lfs_ordering_trial,
+                params=dict(files=files),
+                seed=seed,
+            )
+        ]
+    )
+    result.add(ordering="random", read_s=times["random"])
+    result.add(ordering="i-number (FFS knowledge)", read_s=times["inumber"])
+    result.add(ordering="write-time (LFS knowledge)", read_s=times["write_time"])
     result.notes.append(
         "the FFS module's i-number ordering is no better than random on "
         "LFS; swapping in the write-time module restores the win"

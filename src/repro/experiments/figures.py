@@ -5,6 +5,13 @@ runs the workload at a scaled-down (but shape-preserving) size, and
 returns a :class:`~repro.experiments.harness.FigureResult`.  Defaults
 run the whole set in minutes; pass larger sizes for paper-scale runs.
 
+Structurally, every driver splits into module-level *trial functions*
+(pure, picklable, each building its own kernel) and a thin assembly
+step.  The trials fan out over :mod:`repro.experiments.runner`, which
+adds process-pool parallelism (``--jobs N`` on the CLI) and an on-disk
+result cache; results are assembled in spec order, so ``jobs=1`` and
+``jobs=N`` produce bit-identical rows.
+
 Scaling convention: the paper's machine cached ~830 MB and scanned
 1 GB files; the default scale here caches ~112 MB and scans files sized
 in proportion, with 64 KiB simulator pages so page-table overheads stay
@@ -29,12 +36,14 @@ from repro.apps.grep import gb_grep, gbp_grep, grep
 from repro.apps.scan import gray_scan, linear_scan
 from repro.apps.search import gb_search, search
 from repro.experiments.harness import FigureResult, mean_std
+from repro.experiments.runner import TrialSpec, run_trials
 from repro.icl import gbp as gbp_mod
 from repro.icl.fccd import FCCD
 from repro.icl.fldc import FLDC
 from repro.icl.mac import MAC
 from repro.sim import Kernel, MachineConfig, PlatformSpec, linux22, netbsd15, solaris7
 from repro.sim import syscalls as sc
+from repro.sim.config import PLATFORMS
 from repro.workloads.files import age_directory, create_files, make_file
 
 KIB = 1024
@@ -72,6 +81,58 @@ def _repeat_scan(kernel: Kernel, factory, runs: int) -> List[int]:
 # ======================================================================
 # Figure 1 — probe correlation vs prediction-unit size
 # ======================================================================
+def _fig1_trial(
+    seed: int,
+    *,
+    config: MachineConfig,
+    file_mb: int,
+    au_mb: int,
+    trial: int,
+    prediction_units_mb: Sequence[int],
+) -> Dict[str, float]:
+    """One (access-unit, trial) cell: correlation per prediction unit."""
+    from repro.toolbox.stats import pearson_correlation
+
+    rng = random.Random(seed + 977 * trial + au_mb)
+    kernel = Kernel(config)
+    path = "/mnt0/fig1.dat"
+    _build_file(kernel, path, file_mb * MIB)
+    kernel.oracle.flush_file_cache()
+
+    def access_program(au_bytes=au_mb * MIB, rng=rng):
+        fd = (yield sc.open(path)).value
+        size = (yield sc.fstat(fd)).value.size
+        target = int(size * 1.5)
+        done = 0
+        while done < target:
+            base = rng.randrange(max(size - au_bytes, 1))
+            offset = base
+            end = min(base + au_bytes, size)
+            while offset < end:
+                take = min(1 * MIB, end - offset)
+                got = (yield sc.pread(fd, offset, take)).value.nbytes
+                offset += take
+                done += take
+        yield sc.close(fd)
+
+    kernel.run_process(access_program(), "access")
+    cached = kernel.oracle.cached_file_pages(path)
+    pages_per_file = (file_mb * MIB) // config.page_size
+    correlations: Dict[str, float] = {}
+    for pu_mb in prediction_units_mb:
+        pages_per_pu = (pu_mb * MIB) // config.page_size
+        xs: List[float] = []
+        ys: List[float] = []
+        for start in range(0, pages_per_file, pages_per_pu):
+            unit_pages = range(start, min(start + pages_per_pu, pages_per_file))
+            probe_page = rng.randrange(unit_pages.start, unit_pages.stop)
+            xs.append(1.0 if probe_page in cached else 0.0)
+            present = sum(1 for p in unit_pages if p in cached)
+            ys.append(present / len(unit_pages))
+        correlations[str(pu_mb)] = pearson_correlation(xs, ys)
+    return correlations
+
+
 def fig1_probe_correlation(
     trials: int = 5,
     file_mb: int = 224,
@@ -87,8 +148,6 @@ def fig1_probe_correlation(
     correlation between "random page present" and "fraction of the
     prediction unit present", per prediction-unit size — Figure 1.
     """
-    from repro.toolbox.stats import pearson_correlation
-
     config = config or scaled_config()
     result = FigureResult(
         figure_id="fig1",
@@ -96,47 +155,28 @@ def fig1_probe_correlation(
         columns=["access_unit_mb", "prediction_unit_mb", "corr_mean", "corr_std"],
         scale_note=f"file {file_mb} MB ~2x a {config.available_bytes // MIB} MB cache",
     )
-    for au_mb in access_units_mb:
-        per_pu: Dict[int, List[float]] = {pu: [] for pu in prediction_units_mb}
-        for trial in range(trials):
-            rng = random.Random(seed + 977 * trial + au_mb)
-            kernel = Kernel(config)
-            path = "/mnt0/fig1.dat"
-            _build_file(kernel, path, file_mb * MIB)
-            kernel.oracle.flush_file_cache()
-
-            def access_program(au_bytes=au_mb * MIB, rng=rng):
-                fd = (yield sc.open(path)).value
-                size = (yield sc.fstat(fd)).value.size
-                target = int(size * 1.5)
-                done = 0
-                while done < target:
-                    base = rng.randrange(max(size - au_bytes, 1))
-                    offset = base
-                    end = min(base + au_bytes, size)
-                    while offset < end:
-                        take = min(1 * MIB, end - offset)
-                        got = (yield sc.pread(fd, offset, take)).value.nbytes
-                        offset += take
-                        done += take
-                yield sc.close(fd)
-
-            kernel.run_process(access_program(), "access")
-            cached = kernel.oracle.cached_file_pages(path)
-            pages_per_file = (file_mb * MIB) // config.page_size
-            for pu_mb in prediction_units_mb:
-                pages_per_pu = (pu_mb * MIB) // config.page_size
-                xs: List[float] = []
-                ys: List[float] = []
-                for start in range(0, pages_per_file, pages_per_pu):
-                    unit_pages = range(start, min(start + pages_per_pu, pages_per_file))
-                    probe_page = rng.randrange(unit_pages.start, unit_pages.stop)
-                    xs.append(1.0 if probe_page in cached else 0.0)
-                    present = sum(1 for p in unit_pages if p in cached)
-                    ys.append(present / len(unit_pages))
-                per_pu[pu_mb].append(pearson_correlation(xs, ys))
+    specs = [
+        TrialSpec(
+            experiment_id="fig1",
+            trial_index=a * trials + trial,
+            fn=_fig1_trial,
+            params=dict(
+                config=config,
+                file_mb=file_mb,
+                au_mb=au_mb,
+                trial=trial,
+                prediction_units_mb=tuple(prediction_units_mb),
+            ),
+            seed=seed,
+        )
+        for a, au_mb in enumerate(access_units_mb)
+        for trial in range(trials)
+    ]
+    values = run_trials(specs)
+    for a, au_mb in enumerate(access_units_mb):
+        per_au = values[a * trials : (a + 1) * trials]
         for pu_mb in prediction_units_mb:
-            mean, std = mean_std(per_pu[pu_mb])
+            mean, std = mean_std([v[str(pu_mb)] for v in per_au])
             result.add(
                 access_unit_mb=au_mb,
                 prediction_unit_mb=pu_mb,
@@ -153,6 +193,41 @@ def fig1_probe_correlation(
 # ======================================================================
 # Figure 2 — single-file scan: linear vs gray-box vs models
 # ======================================================================
+def _fig2_constants_trial(seed: int, *, config: MachineConfig) -> Dict[str, float]:
+    """Model constants measured once on a quiet machine (§5)."""
+    from repro.toolbox.microbench import run_all
+
+    kernel = Kernel(config)
+    repo = run_all(kernel, file_bytes=64 * MIB)
+    return {
+        "disk_bw": repo.get("disk.sequential_bandwidth"),
+        "copy_bw": repo.get("mem.copy_bandwidth"),
+    }
+
+
+def _fig2_scan_trial(
+    seed: int,
+    *,
+    config: MachineConfig,
+    size_mb: int,
+    variant: str,
+    warm_runs: int,
+) -> float:
+    """Warm-scan seconds for one (size, variant) point."""
+    kernel = Kernel(config)
+    path = "/mnt0/fig2.dat"
+    _build_file(kernel, path, size_mb * MIB)
+    kernel.oracle.flush_file_cache()
+    rng = random.Random(seed + size_mb)
+    if variant == "linear":
+        factory = lambda: linear_scan(path)
+    else:
+        factory = lambda: gray_scan(path, FCCD(rng=rng))
+    runs = _repeat_scan(kernel, factory, warm_runs + 1)
+    warm = runs[1:]
+    return sum(warm) / len(warm) / 1e9
+
+
 def fig2_single_file_scan(
     sizes_mb: Sequence[int] = (32, 64, 96, 112, 128, 160, 192),
     warm_runs: int = 3,
@@ -162,14 +237,35 @@ def fig2_single_file_scan(
     """Warm repeated scans of one file of varying size (Figure 2)."""
     config = config or scaled_config()
     cache_bytes = config.available_bytes
-    # Model constants measured once on a quiet machine (the paper's
-    # microbenchmark-for-configuration step).
-    from repro.toolbox.microbench import run_all
-
-    mb_kernel = Kernel(config)
-    repo = run_all(mb_kernel, file_bytes=64 * MIB)
-    disk_bw = repo.get("disk.sequential_bandwidth")
-    copy_bw = repo.get("mem.copy_bandwidth")
+    specs = [
+        TrialSpec(
+            experiment_id="fig2",
+            trial_index=0,
+            fn=_fig2_constants_trial,
+            params=dict(config=config),
+            seed=seed,
+        )
+    ]
+    for size_mb in sizes_mb:
+        for variant in ("linear", "gray"):
+            specs.append(
+                TrialSpec(
+                    experiment_id="fig2",
+                    trial_index=len(specs),
+                    fn=_fig2_scan_trial,
+                    params=dict(
+                        config=config,
+                        size_mb=size_mb,
+                        variant=variant,
+                        warm_runs=warm_runs,
+                    ),
+                    seed=seed,
+                )
+            )
+    values = run_trials(specs)
+    constants = values[0]
+    disk_bw = constants["disk_bw"]
+    copy_bw = constants["copy_bw"]
 
     result = FigureResult(
         figure_id="fig2",
@@ -183,28 +279,16 @@ def fig2_single_file_scan(
         ],
         scale_note=f"cache {cache_bytes // MIB} MB; sizes scaled from the paper's 896 MB machine",
     )
-    for size_mb in sizes_mb:
+    for n, size_mb in enumerate(sizes_mb):
         nbytes = size_mb * MIB
-        times: Dict[str, float] = {}
-        for variant in ("linear", "gray"):
-            kernel = Kernel(config)
-            path = "/mnt0/fig2.dat"
-            _build_file(kernel, path, nbytes)
-            kernel.oracle.flush_file_cache()
-            rng = random.Random(seed + size_mb)
-            if variant == "linear":
-                factory = lambda: linear_scan(path)
-            else:
-                factory = lambda: gray_scan(path, FCCD(rng=rng))
-            runs = _repeat_scan(kernel, factory, warm_runs + 1)
-            warm = runs[1:]
-            times[variant] = sum(warm) / len(warm) / 1e9
+        linear_s = values[1 + 2 * n]
+        gray_s = values[2 + 2 * n]
         worst = nbytes / disk_bw
         ideal = max(nbytes - cache_bytes, 0) / disk_bw + min(nbytes, cache_bytes) / copy_bw
         result.add(
             size_mb=size_mb,
-            linear_s=times["linear"],
-            gray_s=times["gray"],
+            linear_s=linear_s,
+            gray_s=gray_s,
             model_worst_s=worst,
             model_ideal_s=ideal,
         )
@@ -218,6 +302,115 @@ def fig2_single_file_scan(
 # ======================================================================
 # Figure 3 — application performance: grep and fastsort
 # ======================================================================
+def _fig3_grep_trial(
+    seed: int,
+    *,
+    config: MachineConfig,
+    variant: str,
+    grep_files: int,
+    grep_file_mb: int,
+    warm_runs: int,
+) -> float:
+    """Mean warm grep seconds for one variant."""
+    paths = [f"/mnt0/g/f{i:04d}" for i in range(grep_files)]
+    kernel = Kernel(config)
+
+    def setup():
+        yield sc.mkdir("/mnt0/g")
+        yield from create_files("/mnt0/g", grep_files, grep_file_mb * MIB)
+
+    kernel.run_process(setup(), "setup")
+    kernel.oracle.flush_file_cache()
+    rng = random.Random(seed)
+    if variant == "unmodified":
+        factory = lambda: grep(paths)
+    elif variant == "gb-grep":
+        factory = lambda: gb_grep(paths, fccd=FCCD(rng=rng))
+    else:
+        factory = lambda: gbp_grep(paths, fccd=FCCD(rng=rng))
+    times = []
+    for run in range(warm_runs + 1):
+        report = kernel.run_process(factory(), variant)
+        times.append(report.elapsed_ns)
+    warm = times[1:]
+    return sum(warm) / len(warm) / 1e9
+
+
+def _fig3_sort_trial(
+    seed: int,
+    *,
+    config: MachineConfig,
+    variant: str,
+    sort_input_mb: int,
+    sort_pass_mb: int,
+    warm_runs: int,
+) -> float:
+    """Mean warm fastsort read-phase seconds for one variant."""
+    set_static_buffer_page(config.page_size)
+    input_path = "/mnt0/sortin.dat"
+    input_bytes = sort_input_mb * MIB - (sort_input_mb * MIB) % RECORD_BYTES
+    pass_bytes = sort_pass_mb * MIB - (sort_pass_mb * MIB) % RECORD_BYTES
+
+    kernel = Kernel(config)
+
+    def setup():
+        yield sc.mkdir("/mnt0/runs")
+
+    kernel.run_process(setup(), "setup")
+
+    def refresh_input(run: int) -> None:
+        """Refresh the file-cache contents before each run (§4.1.3).
+
+        Models the paper's "pipeline of creating records and then
+        sorting them": the input exists on disk (fsync'd) and one
+        sequential pass leaves its tail hot in the cache — the classic
+        partially-cached state in which an LRU-like cache punishes a
+        sequential re-reader and rewards FCCD's cached-first order.
+        """
+
+        def recreate():
+            if run == 0:
+                yield from make_file(input_path, input_bytes, sync=True)
+            report = yield from linear_scan(input_path)
+            return report
+
+        kernel.run_process(recreate(), "records")
+
+    def clean_runs() -> None:
+        def clean():
+            names = (yield sc.readdir("/mnt0/runs")).value
+            for name in names:
+                yield sc.unlink(f"/mnt0/runs/{name}")
+
+        kernel.run_process(clean(), "clean")
+
+    rng = random.Random(seed + 1)
+    times = []
+    for run in range(warm_runs + 1):
+        refresh_input(run)
+        if variant == "unmodified":
+            report = kernel.run_process(
+                fastsort_read_phase(input_path, "/mnt0/runs", pass_bytes), variant
+            )
+            elapsed = report.read_ns
+        elif variant == "gb-fastsort":
+            report = kernel.run_process(
+                fccd_fastsort_read_phase(
+                    input_path, "/mnt0/runs", pass_bytes, FCCD(rng=rng)
+                ),
+                variant,
+            )
+            elapsed = report.read_ns
+        else:
+            elapsed = _run_gbp_sort_pipeline(
+                kernel, input_path, "/mnt0/runs", pass_bytes, FCCD(rng=rng)
+            )
+        times.append(elapsed)
+        clean_runs()
+    warm = times[1:]
+    return sum(warm) / len(warm) / 1e9
+
+
 def fig3_applications(
     grep_files: int = 17,
     grep_file_mb: int = 8,
@@ -239,110 +432,53 @@ def fig3_applications(
             f"{config.available_bytes // MIB} MB"
         ),
     )
-
-    # --- grep ---------------------------------------------------------
-    paths = [f"/mnt0/g/f{i:04d}" for i in range(grep_files)]
-
-    def grep_kernel() -> Kernel:
-        kernel = Kernel(config)
-        def setup():
-            yield sc.mkdir("/mnt0/g")
-            yield from create_files("/mnt0/g", grep_files, grep_file_mb * MIB)
-        kernel.run_process(setup(), "setup")
-        kernel.oracle.flush_file_cache()
-        return kernel
-
-    grep_times: Dict[str, float] = {}
-    for variant in ("unmodified", "gb-grep", "gbp-grep"):
-        kernel = grep_kernel()
-        rng = random.Random(seed)
-        if variant == "unmodified":
-            factory = lambda: grep(paths)
-        elif variant == "gb-grep":
-            factory = lambda: gb_grep(paths, fccd=FCCD(rng=rng))
-        else:
-            factory = lambda: gbp_grep(paths, fccd=FCCD(rng=rng))
-        times = []
-        for run in range(warm_runs + 1):
-            report = kernel.run_process(factory(), variant)
-            times.append(report.elapsed_ns)
-        warm = times[1:]
-        grep_times[variant] = sum(warm) / len(warm) / 1e9
+    grep_variants = ("unmodified", "gb-grep", "gbp-grep")
+    sort_variants = ("unmodified", "gb-fastsort", "gbp-fastsort")
+    specs = [
+        TrialSpec(
+            experiment_id="fig3",
+            trial_index=i,
+            fn=_fig3_grep_trial,
+            params=dict(
+                config=config,
+                variant=variant,
+                grep_files=grep_files,
+                grep_file_mb=grep_file_mb,
+                warm_runs=warm_runs,
+            ),
+            seed=seed,
+        )
+        for i, variant in enumerate(grep_variants)
+    ]
+    specs.extend(
+        TrialSpec(
+            experiment_id="fig3",
+            trial_index=len(grep_variants) + i,
+            fn=_fig3_sort_trial,
+            params=dict(
+                config=config,
+                variant=variant,
+                sort_input_mb=sort_input_mb,
+                sort_pass_mb=sort_pass_mb,
+                warm_runs=warm_runs,
+            ),
+            seed=seed,
+        )
+        for i, variant in enumerate(sort_variants)
+    )
+    values = run_trials(specs)
+    grep_times = dict(zip(grep_variants, values[: len(grep_variants)]))
+    sort_times = dict(zip(sort_variants, values[len(grep_variants) :]))
     base = grep_times["unmodified"]
-    for variant in ("unmodified", "gb-grep", "gbp-grep"):
+    for variant in grep_variants:
         result.add(
             app="grep",
             variant=variant,
             time_s=grep_times[variant],
             normalized=grep_times[variant] / base,
         )
-
-    # --- fastsort read phase -------------------------------------------
-    set_static_buffer_page(config.page_size)
-    input_path = "/mnt0/sortin.dat"
-    input_bytes = sort_input_mb * MIB - (sort_input_mb * MIB) % RECORD_BYTES
-    pass_bytes = sort_pass_mb * MIB - (sort_pass_mb * MIB) % RECORD_BYTES
-
-    def sort_kernel() -> Kernel:
-        kernel = Kernel(config)
-        def setup():
-            yield sc.mkdir("/mnt0/runs")
-        kernel.run_process(setup(), "setup")
-        return kernel
-
-    def refresh_input(kernel: Kernel, run: int) -> None:
-        """Refresh the file-cache contents before each run (§4.1.3).
-
-        Models the paper's "pipeline of creating records and then
-        sorting them": the input exists on disk (fsync'd) and one
-        sequential pass leaves its tail hot in the cache — the classic
-        partially-cached state in which an LRU-like cache punishes a
-        sequential re-reader and rewards FCCD's cached-first order.
-        """
-        def recreate():
-            if run == 0:
-                yield from make_file(input_path, input_bytes, sync=True)
-            report = yield from linear_scan(input_path)
-            return report
-        kernel.run_process(recreate(), "records")
-
-    def clean_runs(kernel: Kernel) -> None:
-        def clean():
-            names = (yield sc.readdir("/mnt0/runs")).value
-            for name in names:
-                yield sc.unlink(f"/mnt0/runs/{name}")
-        kernel.run_process(clean(), "clean")
-
-    sort_times: Dict[str, float] = {}
-    for variant in ("unmodified", "gb-fastsort", "gbp-fastsort"):
-        kernel = sort_kernel()
-        rng = random.Random(seed + 1)
-        times = []
-        for run in range(warm_runs + 1):
-            refresh_input(kernel, run)
-            if variant == "unmodified":
-                report = kernel.run_process(
-                    fastsort_read_phase(input_path, "/mnt0/runs", pass_bytes), variant
-                )
-                elapsed = report.read_ns
-            elif variant == "gb-fastsort":
-                report = kernel.run_process(
-                    fccd_fastsort_read_phase(
-                        input_path, "/mnt0/runs", pass_bytes, FCCD(rng=rng)
-                    ),
-                    variant,
-                )
-                elapsed = report.read_ns
-            else:
-                elapsed = _run_gbp_sort_pipeline(
-                    kernel, input_path, "/mnt0/runs", pass_bytes, FCCD(rng=rng)
-                )
-            times.append(elapsed)
-            clean_runs(kernel)
-        warm = times[1:]
-        sort_times[variant] = sum(warm) / len(warm) / 1e9
     base = sort_times["unmodified"]
-    for variant in ("unmodified", "gb-fastsort", "gbp-fastsort"):
+    for variant in sort_variants:
         result.add(
             app="fastsort",
             variant=variant,
@@ -379,6 +515,86 @@ def _run_gbp_sort_pipeline(
 # ======================================================================
 # Figure 4 — multi-platform scans and searches
 # ======================================================================
+def _fig4_scan_trial(
+    seed: int,
+    *,
+    config: MachineConfig,
+    platform: str,
+    file_mb: int,
+    variant: str,
+    warm_runs: int,
+) -> List[int]:
+    """All scan run times (ns) for one (platform, variant) pair."""
+    spec = PLATFORMS[platform]
+    kernel = Kernel(config, platform=spec)
+    path = "/mnt0/scan.dat"
+    _build_file(kernel, path, file_mb * MIB)
+    kernel.oracle.flush_file_cache()
+    rng = random.Random(seed)
+    if variant == "warm":
+        factory = lambda: linear_scan(path)
+    else:
+        factory = lambda: gray_scan(path, FCCD(rng=rng))
+    return _repeat_scan(kernel, factory, warm_runs + 1)
+
+
+def _fig4_search_kernel(
+    config: MachineConfig,
+    spec: PlatformSpec,
+    paths: List[str],
+    match_path: str,
+    search_files: int,
+    search_file_mb: int,
+    warm: bool,
+) -> Kernel:
+    kernel = Kernel(config, platform=spec)
+
+    def setup():
+        yield sc.mkdir("/mnt0/s")
+        yield from create_files("/mnt0/s", search_files, search_file_mb * MIB)
+
+    kernel.run_process(setup(), "setup")
+    kernel.oracle.flush_file_cache()
+    if warm:
+        # Warm exactly the match file (the paper configures the match
+        # "located in a cached file specified last on the command-line").
+        def warm_match():
+            fd = (yield sc.open(match_path)).value
+            while not (yield sc.read(fd, 1 * MIB)).value.eof:
+                pass
+            yield sc.close(fd)
+
+        kernel.run_process(warm_match(), "warm")
+    return kernel
+
+
+def _fig4_search_trial(
+    seed: int,
+    *,
+    config: MachineConfig,
+    platform: str,
+    variant: str,
+    search_files: int,
+    search_file_mb: int,
+) -> int:
+    """Elapsed ns of one search variant (cold / warm / gray)."""
+    spec = PLATFORMS[platform]
+    paths = [f"/mnt0/s/f{i:04d}" for i in range(search_files)]
+    match_path = paths[-1]
+    kernel = _fig4_search_kernel(
+        config, spec, paths, match_path, search_files, search_file_mb,
+        warm=variant != "cold",
+    )
+    if variant == "gray":
+        rng = random.Random(seed + 5)
+        return kernel.run_process(
+            gb_search(paths, match_path=match_path, fccd=FCCD(rng=rng)), "gb-search"
+        ).elapsed_ns
+    return kernel.run_process(
+        search(paths, match_path=match_path), "search"
+    ).elapsed_ns
+
+
 def fig4_multi_platform(
     scan_mb: Optional[Dict[str, int]] = None,
     search_files: int = 24,
@@ -398,26 +614,50 @@ def fig4_multi_platform(
         columns=["platform", "benchmark", "cold", "warm", "gray"],
         scale_note="scan files sized per platform cache; search match cached, listed last",
     )
+    search_variants = ("cold", "warm", "gray")
+    specs: List[TrialSpec] = []
     for platform in platforms:
-        # --- scan -----------------------------------------------------
-        file_bytes = scan_mb[platform.name] * MIB
-        cold_s = warm_s = gray_s = None
         for variant in ("warm", "gray"):
-            kernel = Kernel(config, platform=platform)
-            path = "/mnt0/scan.dat"
-            _build_file(kernel, path, file_bytes)
-            kernel.oracle.flush_file_cache()
-            rng = random.Random(seed)
-            if variant == "warm":
-                factory = lambda: linear_scan(path)
-            else:
-                factory = lambda: gray_scan(path, FCCD(rng=rng))
-            runs = _repeat_scan(kernel, factory, warm_runs + 1)
-            if variant == "warm":
-                cold_s = runs[0] / 1e9
-                warm_s = sum(runs[1:]) / len(runs[1:]) / 1e9
-            else:
-                gray_s = sum(runs[1:]) / len(runs[1:]) / 1e9
+            specs.append(
+                TrialSpec(
+                    experiment_id="fig4",
+                    trial_index=len(specs),
+                    fn=_fig4_scan_trial,
+                    params=dict(
+                        config=config,
+                        platform=platform.name,
+                        file_mb=scan_mb[platform.name],
+                        variant=variant,
+                        warm_runs=warm_runs,
+                    ),
+                    seed=seed,
+                )
+            )
+        for variant in search_variants:
+            specs.append(
+                TrialSpec(
+                    experiment_id="fig4",
+                    trial_index=len(specs),
+                    fn=_fig4_search_trial,
+                    params=dict(
+                        config=config,
+                        platform=platform.name,
+                        variant=variant,
+                        search_files=search_files,
+                        search_file_mb=search_file_mb,
+                    ),
+                    seed=seed,
+                )
+            )
+    values = run_trials(specs)
+    per_platform = 2 + len(search_variants)  # 2 scan variants + 3 search
+    for p, platform in enumerate(platforms):
+        base = p * per_platform
+        warm_scan_runs = values[base]
+        gray_scan_runs = values[base + 1]
+        cold_s = warm_scan_runs[0] / 1e9
+        warm_s = sum(warm_scan_runs[1:]) / len(warm_scan_runs[1:]) / 1e9
+        gray_s = sum(gray_scan_runs[1:]) / len(gray_scan_runs[1:]) / 1e9
         result.add(
             platform=platform.name,
             benchmark="scan",
@@ -425,49 +665,7 @@ def fig4_multi_platform(
             warm=warm_s / cold_s,
             gray=gray_s / cold_s,
         )
-
-        # --- search ----------------------------------------------------
-        paths = [f"/mnt0/s/f{i:04d}" for i in range(search_files)]
-        match_path = paths[-1]
-
-        def search_kernel() -> Kernel:
-            kernel = Kernel(config, platform=platform)
-            def setup():
-                yield sc.mkdir("/mnt0/s")
-                yield from create_files("/mnt0/s", search_files, search_file_mb * MIB)
-            kernel.run_process(setup(), "setup")
-            kernel.oracle.flush_file_cache()
-            # Warm exactly the match file (the paper configures the match
-            # "located in a cached file specified last on the command-line").
-            def warm_match():
-                fd = (yield sc.open(match_path)).value
-                while not (yield sc.read(fd, 1 * MIB)).value.eof:
-                    pass
-                yield sc.close(fd)
-            kernel.run_process(warm_match(), "warm")
-            return kernel
-
-        kernel = search_kernel()
-        cold_report = None
-        # Cold baseline: separate kernel without warming.
-        cold_kernel = Kernel(config, platform=platform)
-        def cold_setup():
-            yield sc.mkdir("/mnt0/s")
-            yield from create_files("/mnt0/s", search_files, search_file_mb * MIB)
-        cold_kernel.run_process(cold_setup(), "setup")
-        cold_kernel.oracle.flush_file_cache()
-        cold_ns = cold_kernel.run_process(
-            search(paths, match_path=match_path), "search"
-        ).elapsed_ns
-
-        warm_ns = kernel.run_process(
-            search(paths, match_path=match_path), "search"
-        ).elapsed_ns
-        kernel2 = search_kernel()
-        rng = random.Random(seed + 5)
-        gray_ns = kernel2.run_process(
-            gb_search(paths, match_path=match_path, fccd=FCCD(rng=rng)), "gb-search"
-        ).elapsed_ns
+        cold_ns, warm_ns, gray_ns = values[base + 2 : base + 5]
         result.add(
             platform=platform.name,
             benchmark="search",
@@ -487,6 +685,60 @@ def fig4_multi_platform(
 # ======================================================================
 # Figure 5 — file ordering matters (random / by-directory / by-inumber)
 # ======================================================================
+def _fig5_trial(
+    seed: int,
+    *,
+    config: MachineConfig,
+    platform: str,
+    trial: int,
+    files: int,
+    file_kb: int,
+    directories: int,
+) -> Dict[str, float]:
+    """One aged-directory read trial: seconds per ordering strategy."""
+    spec = PLATFORMS[platform]
+    per_dir = files // directories
+    kernel = Kernel(config, platform=spec)
+    paths: List[str] = []
+    name_rng = random.Random(seed * 31 + trial)
+
+    def setup():
+        for d in range(directories):
+            # Names deliberately uncorrelated with creation order.
+            names = [f"n{name_rng.randrange(10**8):08d}" for _ in range(per_dir)]
+            got = yield from _populate(f"/mnt0/d{d}", per_dir, file_kb * KIB, names)
+            paths.extend(got)
+
+    kernel.run_process(setup(), "setup")
+    rng = random.Random(seed + trial)
+    times: Dict[str, float] = {}
+    for order_name in ("random", "directory", "inumber"):
+        kernel.oracle.flush_file_cache()
+
+        def run(order_name=order_name, rng=rng):
+            if order_name == "random":
+                order = list(paths)
+                rng.shuffle(order)
+            elif order_name == "directory":
+                shuffled = list(paths)
+                rng.shuffle(shuffled)
+                order = FLDC.directory_order(shuffled)
+            else:
+                shuffled = list(paths)
+                rng.shuffle(shuffled)
+                order, _stats = yield from FLDC().layout_order(shuffled)
+            t0 = (yield sc.gettime()).value
+            for path in order:
+                fd = (yield sc.open(path)).value
+                while not (yield sc.read(fd, 64 * KIB)).value.eof:
+                    pass
+                yield sc.close(fd)
+            return (yield sc.gettime()).value - t0
+
+        times[order_name] = kernel.run_process(run(), order_name) / 1e9
+    return times
+
+
 def fig5_file_ordering(
     files: int = 200,
     file_kb: int = 8,
@@ -504,47 +756,29 @@ def fig5_file_ordering(
         columns=["platform", "order", "time_s_mean", "time_s_std"],
         scale_note=f"{files}x{file_kb} KB files across {directories} directories",
     )
-    per_dir = files // directories
-    for platform in platforms:
-        times: Dict[str, List[float]] = {"random": [], "directory": [], "inumber": []}
-        for trial in range(trials):
-            kernel = Kernel(config, platform=platform)
-            paths: List[str] = []
-            name_rng = random.Random(seed * 31 + trial)
-            def setup():
-                for d in range(directories):
-                    # Names deliberately uncorrelated with creation order.
-                    names = [f"n{name_rng.randrange(10**8):08d}" for _ in range(per_dir)]
-                    got = yield from _populate(
-                        f"/mnt0/d{d}", per_dir, file_kb * KIB, names
-                    )
-                    paths.extend(got)
-            kernel.run_process(setup(), "setup")
-            rng = random.Random(seed + trial)
-            for order_name in ("random", "directory", "inumber"):
-                kernel.oracle.flush_file_cache()
-                def run(order_name=order_name, rng=rng):
-                    if order_name == "random":
-                        order = list(paths)
-                        rng.shuffle(order)
-                    elif order_name == "directory":
-                        shuffled = list(paths)
-                        rng.shuffle(shuffled)
-                        order = FLDC.directory_order(shuffled)
-                    else:
-                        shuffled = list(paths)
-                        rng.shuffle(shuffled)
-                        order, _stats = yield from FLDC().layout_order(shuffled)
-                    t0 = (yield sc.gettime()).value
-                    for path in order:
-                        fd = (yield sc.open(path)).value
-                        while not (yield sc.read(fd, 64 * KIB)).value.eof:
-                            pass
-                        yield sc.close(fd)
-                    return (yield sc.gettime()).value - t0
-                times[order_name].append(kernel.run_process(run(), order_name) / 1e9)
+    specs = [
+        TrialSpec(
+            experiment_id="fig5",
+            trial_index=p * trials + trial,
+            fn=_fig5_trial,
+            params=dict(
+                config=config,
+                platform=platform.name,
+                trial=trial,
+                files=files,
+                file_kb=file_kb,
+                directories=directories,
+            ),
+            seed=seed,
+        )
+        for p, platform in enumerate(platforms)
+        for trial in range(trials)
+    ]
+    values = run_trials(specs)
+    for p, platform in enumerate(platforms):
+        per_trial = values[p * trials : (p + 1) * trials]
         for order_name in ("random", "directory", "inumber"):
-            mean, std = mean_std(times[order_name])
+            mean, std = mean_std([t[order_name] for t in per_trial])
             result.add(
                 platform=platform.name,
                 order=order_name,
@@ -567,30 +801,26 @@ def _populate(directory: str, count: int, size: int, names=None):
 # ======================================================================
 # Figure 6 — aging epochs and the directory refresh
 # ======================================================================
-def fig6_aging_refresh(
-    files: int = 100,
-    file_kb: int = 8,
-    epochs: int = 31,
-    refresh_at: int = 31,
-    measure_every: int = 2,
-    config: Optional[MachineConfig] = None,
-    seed: int = 61,
-) -> FigureResult:
-    """i-number vs random order as the directory ages; refresh restores."""
-    config = config or scaled_config(page_size=4 * KIB)
+def _fig6_trial(
+    seed: int,
+    *,
+    config: MachineConfig,
+    files: int,
+    file_kb: int,
+    epochs: int,
+    refresh_at: int,
+    measure_every: int,
+) -> List[Dict[str, object]]:
+    """The whole aging timeline (inherently sequential: one aging kernel)."""
     kernel = Kernel(config)
     directory = "/mnt0/aged"
     kernel.run_process(_populate(directory, files, file_kb * KIB), "setup")
     rng = random.Random(seed)
-    result = FigureResult(
-        figure_id="fig6",
-        title="Aging and refresh: read time by epoch (seconds)",
-        columns=["epoch", "random_s", "inumber_s", "refreshed"],
-        scale_note=f"{files}x{file_kb} KB files; 5 deletes + 5 creates per epoch",
-    )
+    rows: List[Dict[str, object]] = []
 
     def measure(order_name: str) -> float:
         kernel.oracle.flush_file_cache()
+
         def run():
             names = (yield sc.readdir(directory)).value
             paths = [f"{directory}/{n}" for n in names]
@@ -606,31 +836,76 @@ def fig6_aging_refresh(
                     pass
                 yield sc.close(fd)
             return (yield sc.gettime()).value - t0
+
         return kernel.run_process(run(), order_name) / 1e9
 
-    result.add(
-        epoch=0, random_s=measure("random"), inumber_s=measure("inumber"), refreshed=False
+    rows.append(
+        dict(epoch=0, random_s=measure("random"), inumber_s=measure("inumber"), refreshed=False)
     )
     for epoch in range(1, epochs + 1):
         if epoch == refresh_at:
             kernel.run_process(FLDC().refresh_directory(directory), "refresh")
-            result.add(
-                epoch=epoch,
-                random_s=measure("random"),
-                inumber_s=measure("inumber"),
-                refreshed=True,
+            rows.append(
+                dict(
+                    epoch=epoch,
+                    random_s=measure("random"),
+                    inumber_s=measure("inumber"),
+                    refreshed=True,
+                )
             )
             continue
         kernel.run_process(
             age_directory(directory, 1, rng, create_size=file_kb * KIB), "age"
         )
         if epoch % measure_every == 0 or epoch == epochs:
-            result.add(
-                epoch=epoch,
-                random_s=measure("random"),
-                inumber_s=measure("inumber"),
-                refreshed=False,
+            rows.append(
+                dict(
+                    epoch=epoch,
+                    random_s=measure("random"),
+                    inumber_s=measure("inumber"),
+                    refreshed=False,
+                )
             )
+    return rows
+
+
+def fig6_aging_refresh(
+    files: int = 100,
+    file_kb: int = 8,
+    epochs: int = 31,
+    refresh_at: int = 31,
+    measure_every: int = 2,
+    config: Optional[MachineConfig] = None,
+    seed: int = 61,
+) -> FigureResult:
+    """i-number vs random order as the directory ages; refresh restores."""
+    config = config or scaled_config(page_size=4 * KIB)
+    result = FigureResult(
+        figure_id="fig6",
+        title="Aging and refresh: read time by epoch (seconds)",
+        columns=["epoch", "random_s", "inumber_s", "refreshed"],
+        scale_note=f"{files}x{file_kb} KB files; 5 deletes + 5 creates per epoch",
+    )
+    (rows,) = run_trials(
+        [
+            TrialSpec(
+                experiment_id="fig6",
+                trial_index=0,
+                fn=_fig6_trial,
+                params=dict(
+                    config=config,
+                    files=files,
+                    file_kb=file_kb,
+                    epochs=epochs,
+                    refresh_at=refresh_at,
+                    measure_every=measure_every,
+                ),
+                seed=seed,
+            )
+        ]
+    )
+    for row in rows:
+        result.add(**row)
     result.notes.append(
         "i-number order degrades with aging yet stays ahead of random; "
         "the refresh at the final epoch restores fresh performance"
@@ -641,6 +916,69 @@ def fig6_aging_refresh(
 # ======================================================================
 # Figure 7 — four competing fastsorts, static pass sizes vs MAC
 # ======================================================================
+def _fig7_trial(
+    seed: int,
+    *,
+    config: MachineConfig,
+    variant: str,
+    pass_mb: Optional[int],
+    trial: int,
+    nprocs: int,
+    input_mb: int,
+    min_pass_mb: int,
+) -> List[float]:
+    """One competing-sorts run: [elapsed_s, mean_pass_mb, overhead_s, swapped_mb]."""
+    set_static_buffer_page(config.page_size)
+    input_bytes = input_mb * MIB - (input_mb * MIB) % RECORD_BYTES
+
+    kernel = Kernel(config)
+
+    def setup(i: int):
+        yield sc.mkdir(f"/mnt{i}/runs")
+        yield from make_file(f"/mnt{i}/in.dat", input_bytes, sync=False)
+
+    for i in range(nprocs):
+        kernel.run_process(setup(i), f"setup{i}")
+    kernel.oracle.flush_file_cache()
+
+    def staggered(gen, delay_ns: int):
+        yield sc.sleep(delay_ns)
+        report = yield from gen
+        return report
+
+    rng = random.Random(seed * 101 + trial)
+    swapped_before = kernel.oracle.daemon_stats().anon_pages_swapped
+    start = kernel.clock.now
+    processes = []
+    for i in range(nprocs):
+        if variant == "static":
+            pass_bytes = pass_mb * MIB - (pass_mb * MIB) % RECORD_BYTES
+            gen = fastsort_read_phase(f"/mnt{i}/in.dat", f"/mnt{i}/runs", pass_bytes)
+        else:
+            mac = MAC(
+                page_size=config.page_size,
+                initial_increment_bytes=8 * MIB,
+                max_increment_bytes=64 * MIB,
+                rng=random.Random(seed + i + 31 * trial),
+            )
+            gen = gb_fastsort_read_phase(
+                f"/mnt{i}/in.dat",
+                f"/mnt{i}/runs",
+                mac,
+                min_pass_bytes=min_pass_mb * MIB,
+            )
+        delay = rng.randrange(10_000_000)  # up to 10 ms shell skew
+        processes.append(kernel.spawn(staggered(gen, delay), f"sort{i}"))
+    kernel.run()
+    elapsed = (kernel.clock.now - start) / 1e9
+    reports = [p.result for p in processes]
+    mean_pass = sum(r.mean_pass_bytes for r in reports) / len(reports) / MIB
+    overhead = sum(r.overhead_ns for r in reports) / len(reports) / 1e9
+    swapped = kernel.oracle.daemon_stats().anon_pages_swapped - swapped_before
+    swapped_mb = swapped * config.page_size / MIB
+    return [elapsed, mean_pass, overhead, swapped_mb]
+
+
 def fig7_sort_mac(
     nprocs: int = 4,
     input_mb: int = 240,
@@ -664,8 +1002,6 @@ def fig7_sort_mac(
         kernel_reserved_bytes=reserved_mb * MIB,
         data_disks=nprocs,
     )
-    set_static_buffer_page(config.page_size)
-    input_bytes = input_mb * MIB - (input_mb * MIB) % RECORD_BYTES
     result = FigureResult(
         figure_id="fig7",
         title="Competing fastsorts: completion time vs pass size (seconds)",
@@ -683,89 +1019,43 @@ def fig7_sort_mac(
             f"disk, {config.available_bytes // MIB} MB available"
         ),
     )
-
-    def build_kernel() -> Kernel:
-        kernel = Kernel(config)
-        def setup(i: int):
-            yield sc.mkdir(f"/mnt{i}/runs")
-            yield from make_file(f"/mnt{i}/in.dat", input_bytes, sync=False)
-        for i in range(nprocs):
-            kernel.run_process(setup(i), f"setup{i}")
-        kernel.oracle.flush_file_cache()
-        return kernel
-
-    def staggered(gen, delay_ns: int):
-        yield sc.sleep(delay_ns)
-        report = yield from gen
-        return report
-
-    def run_config(variant: str, pass_mb: Optional[int], trial: int):
-        kernel = build_kernel()
-        rng = random.Random(seed * 101 + trial)
-        swapped_before = kernel.oracle.daemon_stats().anon_pages_swapped
-        start = kernel.clock.now
-        processes = []
-        for i in range(nprocs):
-            if variant == "static":
-                pass_bytes = pass_mb * MIB - (pass_mb * MIB) % RECORD_BYTES
-                gen = fastsort_read_phase(f"/mnt{i}/in.dat", f"/mnt{i}/runs", pass_bytes)
-            else:
-                mac = MAC(
-                    page_size=config.page_size,
-                    initial_increment_bytes=8 * MIB,
-                    max_increment_bytes=64 * MIB,
-                    rng=random.Random(seed + i + 31 * trial),
-                )
-                gen = gb_fastsort_read_phase(
-                    f"/mnt{i}/in.dat",
-                    f"/mnt{i}/runs",
-                    mac,
-                    min_pass_bytes=min_pass_mb * MIB,
-                )
-            delay = rng.randrange(10_000_000)  # up to 10 ms shell skew
-            processes.append(kernel.spawn(staggered(gen, delay), f"sort{i}"))
-        kernel.run()
-        elapsed = (kernel.clock.now - start) / 1e9
-        reports = [p.result for p in processes]
-        mean_pass = sum(r.mean_pass_bytes for r in reports) / len(reports) / MIB
-        overhead = sum(r.overhead_ns for r in reports) / len(reports) / 1e9
-        swapped = kernel.oracle.daemon_stats().anon_pages_swapped - swapped_before
-        swapped_mb = swapped * config.page_size / MIB
-        return elapsed, mean_pass, overhead, swapped_mb
-
-    def run_trials(variant: str, pass_mb: Optional[int]):
-        rows = [run_config(variant, pass_mb, t) for t in range(trials)]
+    configs: List[Tuple[str, Optional[int]]] = [
+        ("static", pass_mb) for pass_mb in static_pass_mb
+    ]
+    configs.append(("mac", None))
+    specs = [
+        TrialSpec(
+            experiment_id="fig7",
+            trial_index=c * trials + trial,
+            fn=_fig7_trial,
+            params=dict(
+                config=config,
+                variant=variant,
+                pass_mb=pass_mb,
+                trial=trial,
+                nprocs=nprocs,
+                input_mb=input_mb,
+                min_pass_mb=min_pass_mb,
+            ),
+            seed=seed,
+        )
+        for c, (variant, pass_mb) in enumerate(configs)
+        for trial in range(trials)
+    ]
+    values = run_trials(specs)
+    for c, (variant, pass_mb) in enumerate(configs):
+        rows = values[c * trials : (c + 1) * trials]
         times = [r[0] for r in rows]
         mean_t, std_t = mean_std(times)
-        return (
-            mean_t,
-            std_t,
-            sum(r[1] for r in rows) / trials,
-            sum(r[2] for r in rows) / trials,
-            sum(r[3] for r in rows) / trials,
-        )
-
-    for pass_mb in static_pass_mb:
-        time_s, std_s, mean_pass, overhead, swapped_mb = run_trials("static", pass_mb)
         result.add(
-            variant="static",
-            pass_mb=pass_mb,
-            time_s=time_s,
-            time_s_std=std_s,
-            mean_pass_mb=mean_pass,
-            overhead_s=overhead,
-            swapped_mb=swapped_mb,
+            variant="static" if variant == "static" else "gb-fastsort",
+            pass_mb=pass_mb if pass_mb is not None else 0,
+            time_s=mean_t,
+            time_s_std=std_t,
+            mean_pass_mb=sum(r[1] for r in rows) / trials,
+            overhead_s=sum(r[2] for r in rows) / trials,
+            swapped_mb=sum(r[3] for r in rows) / trials,
         )
-    time_s, std_s, mean_pass, overhead, swapped_mb = run_trials("mac", None)
-    result.add(
-        variant="gb-fastsort",
-        pass_mb=0,
-        time_s=time_s,
-        time_s_std=std_s,
-        mean_pass_mb=mean_pass,
-        overhead_s=overhead,
-        swapped_mb=swapped_mb,
-    )
     result.notes.append(
         "static sorts degrade sharply once the pass size overcommits "
         "memory; gb-fastsort adapts its pass size and pays probe/wait "
@@ -779,6 +1069,47 @@ def fig7_sort_mac(
 # ======================================================================
 # §4.3.3 text — MAC returns (available - x) against a competitor
 # ======================================================================
+def _mac_available_trial(
+    seed: int, *, config: MachineConfig, competitor_mb: int
+) -> float:
+    """MAC's granted bytes with a competitor pinning ``competitor_mb``."""
+    ps = config.page_size
+    x = competitor_mb
+    kernel = Kernel(config)
+
+    def competitor(stop_after_ns=40 * 10**9, xmb=x):
+        if xmb == 0:
+            return None
+        region = (yield sc.vm_alloc(xmb * MIB)).value
+        npages = xmb * MIB // ps
+        yield sc.touch_range(region, 0, npages)
+        t0 = (yield sc.gettime()).value
+        while True:
+            yield sc.touch_range(region, 0, npages)
+            yield sc.sleep(50 * 10**6)
+            if (yield sc.gettime()).value - t0 > stop_after_ns:
+                return None
+
+    def mac_app():
+        yield sc.sleep(500 * 10**6)
+        mac = MAC(
+            page_size=ps,
+            initial_increment_bytes=8 * MIB,
+            max_increment_bytes=64 * MIB,
+            rng=random.Random(seed + x),
+        )
+        allocation = yield from mac.gb_alloc(8 * MIB, config.available_bytes, MIB)
+        granted = 0 if allocation is None else allocation.granted_bytes
+        if allocation is not None:
+            yield from mac.gb_free(allocation)
+        return granted
+
+    kernel.spawn(competitor(), "competitor")
+    proc = kernel.spawn(mac_app(), "mac")
+    kernel.run()
+    return proc.result
+
+
 def mac_available_memory(
     competitor_mb: Sequence[int] = (0, 150, 300, 500),
     memory_mb: int = 896,
@@ -800,44 +1131,22 @@ def mac_available_memory(
         columns=["competitor_mb", "expected_mb", "granted_mb"],
         scale_note=f"{available} MB available",
     )
-    ps = config.page_size
-    for x in competitor_mb:
-        kernel = Kernel(config)
-
-        def competitor(stop_after_ns=40 * 10**9, xmb=x):
-            if xmb == 0:
-                return None
-            region = (yield sc.vm_alloc(xmb * MIB)).value
-            npages = xmb * MIB // ps
-            yield sc.touch_range(region, 0, npages)
-            t0 = (yield sc.gettime()).value
-            while True:
-                yield sc.touch_range(region, 0, npages)
-                yield sc.sleep(50 * 10**6)
-                if (yield sc.gettime()).value - t0 > stop_after_ns:
-                    return None
-
-        def mac_app():
-            yield sc.sleep(500 * 10**6)
-            mac = MAC(
-                page_size=ps,
-                initial_increment_bytes=8 * MIB,
-                max_increment_bytes=64 * MIB,
-                rng=random.Random(seed + x),
-            )
-            allocation = yield from mac.gb_alloc(8 * MIB, config.available_bytes, MIB)
-            granted = 0 if allocation is None else allocation.granted_bytes
-            if allocation is not None:
-                yield from mac.gb_free(allocation)
-            return granted
-
-        kernel.spawn(competitor(), "competitor")
-        proc = kernel.spawn(mac_app(), "mac")
-        kernel.run()
+    specs = [
+        TrialSpec(
+            experiment_id="mac-available",
+            trial_index=i,
+            fn=_mac_available_trial,
+            params=dict(config=config, competitor_mb=x),
+            seed=seed,
+        )
+        for i, x in enumerate(competitor_mb)
+    ]
+    values = run_trials(specs)
+    for x, granted in zip(competitor_mb, values):
         result.add(
             competitor_mb=x,
             expected_mb=available - x,
-            granted_mb=proc.result / MIB,
+            granted_mb=granted / MIB,
         )
     result.notes.append(
         "the grant tracks (available - x) with a small conservative margin"

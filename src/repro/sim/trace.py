@@ -49,6 +49,10 @@ class SyscallTrace:
         self.records: Deque[TraceRecord] = deque(maxlen=capacity)
         self._kernel = None
         self._original_execute: Optional[Callable] = None
+        self._traced_execute: Optional[Callable] = None
+        # pid -> clock time of the *first* execution attempt of the
+        # syscall currently in flight (survives BLOCK/retry cycles).
+        self._attempt_start: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Attachment
@@ -63,12 +67,17 @@ class SyscallTrace:
         trace = self
 
         def traced_execute(process, syscall):
-            start = kernel.clock.now
+            # A syscall that blocks is re-executed by ``kernel._step`` on
+            # every wakeup; record it exactly once, on the attempt that
+            # completes, with ``start_ns`` of the first attempt so the
+            # blocked interval stays visible in the timeline.
+            start = trace._attempt_start.setdefault(process.pid, kernel.clock.now)
             trace._original_execute(process, syscall)
-            finished = getattr(process, "retry_syscall", None) is None
-            if finished and process.pending_exception is None:
-                result = process.pending_value
-                elapsed = getattr(result, "elapsed_ns", 0)
+            if getattr(process, "retry_syscall", None) is not None:
+                return  # blocked; completion (or failure) records it
+            trace._attempt_start.pop(process.pid, None)
+            if process.pending_exception is None:
+                elapsed = getattr(process.pending_value, "elapsed_ns", 0)
             else:
                 elapsed = 0
             trace.records.append(
@@ -84,21 +93,35 @@ class SyscallTrace:
 
         kernel._execute = traced_execute
         kernel._trace = self
+        self._traced_execute = traced_execute
         return self
 
     def remove(self) -> None:
         if self._kernel is None:
             return
+        if self._kernel._execute is not self._traced_execute:
+            raise RuntimeError(
+                "kernel._execute was re-wrapped after this trace was "
+                "installed; remove the outer instrumentation first"
+            )
         self._kernel._execute = self._original_execute
         self._kernel._trace = None
         self._kernel = None
         self._original_execute = None
+        self._traced_execute = None
+        self._attempt_start.clear()
 
     def __enter__(self) -> "SyscallTrace":
         return self
 
-    def __exit__(self, *exc) -> None:
-        self.remove()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            self.remove()
+        except RuntimeError:
+            # Don't mask an exception already unwinding through the
+            # ``with`` body; surface the detach failure otherwise.
+            if exc_type is None:
+                raise
 
     # ------------------------------------------------------------------
     # Queries

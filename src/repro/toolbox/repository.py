@@ -13,6 +13,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 
+# Distinguishes "no default supplied" from an explicit default of None,
+# 0.0, or any other falsy value.
+_MISSING = object()
+
 
 @dataclass
 class Parameter:
@@ -59,10 +63,10 @@ class ParameterRepository:
     def has(self, key: str) -> bool:
         return key in self._params
 
-    def get(self, key: str, default: Optional[float] = None) -> float:
+    def get(self, key: str, default: Any = _MISSING) -> Optional[float]:
         param = self._params.get(key)
         if param is None:
-            if default is None:
+            if default is _MISSING:
                 raise KeyError(
                     f"parameter {key!r} has not been measured; "
                     f"run the relevant microbenchmark first"
@@ -87,9 +91,10 @@ class ParameterRepository:
 
     def ensure(self, key: str, measure: Callable[[], float], **meta: Any) -> float:
         """Return the stored value, measuring and recording it if absent."""
-        if not self.has(key):
-            self.set(key, measure(), **meta)
-        return self.get(key)
+        param = self._params.get(key)
+        if param is None:
+            param = self.set(key, measure(), **meta)
+        return param.value
 
     def items(self) -> Iterator[Tuple[str, Parameter]]:
         return iter(sorted(self._params.items()))

@@ -68,6 +68,24 @@ class TestRepository:
         repo = ParameterRepository()
         assert repo.get("x", default=5.0) == 5.0
 
+    def test_falsy_defaults_are_honoured(self):
+        repo = ParameterRepository()
+        assert repo.get("x", default=0.0) == 0.0
+        assert repo.get("x", default=None) is None
+
+    def test_explicit_none_default_beats_keyerror(self):
+        # Only the *absence* of a default raises; an explicit None is a
+        # legitimate "not measured" answer.
+        repo = ParameterRepository()
+        assert repo.get("mem.copy_bandwidth", None) is None
+        with pytest.raises(KeyError):
+            repo.get("mem.copy_bandwidth")
+
+    def test_default_ignored_when_key_present(self):
+        repo = ParameterRepository()
+        repo.set("k", 3.0)
+        assert repo.get("k", default=99.0) == 3.0
+
     def test_ensure_measures_once(self):
         repo = ParameterRepository()
         calls = []

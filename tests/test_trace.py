@@ -101,6 +101,142 @@ class TestTraceBasics:
             SyscallTrace(capacity=0)
 
 
+class TestBlockingSyscallsRecordedOnce:
+    """A syscall that blocks is re-executed by the kernel on every
+    wakeup; the trace must record it once, not once per attempt."""
+
+    def test_blocking_pipe_read_appears_exactly_once(self, kernel):
+        def writer(w_fd):
+            yield sc.sleep(2_000_000)  # let the reader block first
+            yield sc.write(w_fd, 100)
+            yield sc.close(w_fd)
+
+        def reader(r_fd):
+            result = (yield sc.read(r_fd, 100)).value
+            yield sc.close(r_fd)
+            return result.nbytes
+
+        pipe = kernel.make_pipe()
+        trace = SyscallTrace().install(kernel)
+        kernel.spawn_with_pipe_ends(lambda w: writer(w), [(pipe, "pipe_w")], "w")
+        cons = kernel.spawn_with_pipe_ends(lambda r: reader(r), [(pipe, "pipe_r")], "r")
+        kernel.run()
+        assert cons.result == 100
+        reads = [r for r in trace.by_process("r") if r.syscall == "read"]
+        assert len(reads) == 1
+        trace.remove()
+
+    def test_blocked_read_start_ns_is_first_attempt(self, kernel):
+        def writer(w_fd):
+            yield sc.sleep(5_000_000)
+            yield sc.write(w_fd, 10)
+            yield sc.close(w_fd)
+
+        def reader(r_fd):
+            yield sc.read(r_fd, 10)
+            yield sc.close(r_fd)
+
+        pipe = kernel.make_pipe()
+        trace = SyscallTrace().install(kernel)
+        kernel.spawn_with_pipe_ends(lambda w: writer(w), [(pipe, "pipe_w")], "w")
+        kernel.spawn_with_pipe_ends(lambda r: reader(r), [(pipe, "pipe_r")], "r")
+        kernel.run()
+        record = [r for r in trace.by_process("r") if r.syscall == "read"][0]
+        # The read was attempted immediately but could only complete
+        # after the writer's 5ms sleep; start_ns must reflect the first
+        # attempt, keeping the blocked interval visible.
+        assert record.start_ns < 5_000_000
+        trace.remove()
+
+    def test_blocking_waitpid_appears_exactly_once(self, kernel):
+        def child():
+            yield sc.sleep(3_000_000)
+            return "done"
+
+        def parent():
+            pid = (yield sc.spawn(child(), "child")).value
+            return (yield sc.waitpid(pid)).value
+
+        trace = SyscallTrace().install(kernel)
+        assert kernel.run_process(parent(), "parent") == "done"
+        assert trace.counts()["waitpid"] == 1
+        trace.remove()
+
+    def test_contended_pipe_traffic_counts_completed_calls(self, kernel):
+        """Producer/consumer with capacity stalls on both sides: the
+        trace holds exactly one record per *completed* call, no matter
+        how often either side blocked and retried."""
+        from repro.sim.proc.process import PipeBuffer
+
+        total = PipeBuffer.CAPACITY * 3
+        calls = {"write": 0, "read": 0}
+
+        def producer(w_fd):
+            sent = 0
+            while sent < total:
+                calls["write"] += 1
+                sent += (yield sc.write(w_fd, total - sent)).value
+            yield sc.close(w_fd)
+            return sent
+
+        def consumer(r_fd):
+            yield sc.sleep(10_000_000)
+            while True:
+                calls["read"] += 1
+                result = (yield sc.read(r_fd, PipeBuffer.CAPACITY)).value
+                if result.eof:
+                    break
+            yield sc.close(r_fd)
+            return "drained"
+
+        pipe = kernel.make_pipe()
+        trace = SyscallTrace().install(kernel)
+        prod = kernel.spawn_with_pipe_ends(lambda w: producer(w), [(pipe, "pipe_w")], "p")
+        kernel.spawn_with_pipe_ends(lambda r: consumer(r), [(pipe, "pipe_r")], "c")
+        kernel.run()
+        assert prod.result == total
+        writes = [r for r in trace.by_process("p") if r.syscall == "write"]
+        reads = [r for r in trace.by_process("c") if r.syscall == "read"]
+        assert len(writes) == calls["write"]
+        assert len(reads) == calls["read"]
+        trace.remove()
+
+
+class TestRemoveSafety:
+    def test_remove_detects_rewrapped_execute(self, kernel):
+        trace = SyscallTrace().install(kernel)
+        inner = kernel._execute
+
+        def outer(process, syscall):
+            return inner(process, syscall)
+
+        kernel._execute = outer
+        with pytest.raises(RuntimeError, match="re-wrapped"):
+            trace.remove()
+        # Unwind the outer wrapper and removal succeeds.
+        kernel._execute = inner
+        trace.remove()
+        assert kernel._trace is None
+
+    def test_context_manager_does_not_mask_body_exception(self, kernel):
+        with pytest.raises(ValueError, match="body failure"):
+            with SyscallTrace().install(kernel):
+                inner = kernel._execute
+                kernel._execute = lambda p, s: inner(p, s)
+                raise ValueError("body failure")
+        # The trace is still attached (detach failed); restore by hand.
+        kernel._execute = inner
+        kernel._trace.remove()
+
+    def test_context_manager_raises_on_clean_exit_if_rewrapped(self, kernel):
+        with pytest.raises(RuntimeError, match="re-wrapped"):
+            with SyscallTrace().install(kernel):
+                inner = kernel._execute
+                kernel._execute = lambda p, s: inner(p, s)
+        kernel._execute = inner
+        kernel._trace.remove()
+
+
 class TestTraceAsDebuggingTool:
     def test_fccd_probe_pattern_is_visible(self, kernel):
         """The trace shows FCCD issuing exactly one pread per window."""
