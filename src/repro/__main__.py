@@ -9,17 +9,25 @@ Usage::
     python -m repro all --jobs 4
     python -m repro fig1 --jobs 8 --no-cache
     python -m repro fig5 --cache-dir /tmp/repro-cache
+    python -m repro observe scan --out observe-scan.jsonl
+    python -m repro fig2 --metrics-out fig2-metrics.jsonl
 
 Trials fan out over a process pool (``--jobs N``) and completed trials
 are cached on disk (default ``.repro-cache/``, or ``$REPRO_CACHE_DIR``;
 ``--no-cache`` disables, ``--cache-dir`` relocates).  Re-running an
 unchanged experiment is instant; per-experiment trial telemetry is
 printed to stderr.
+
+``observe <scenario>`` runs one always-instrumented scenario (``scan``,
+``fldc``, ``mac``) and dumps every metric, event, and span as JSONL;
+``--metrics-out FILE`` writes the runner telemetry and per-trial metric
+samples of any figure/ablation run to JSONL for offline analysis.
 """
 
 from __future__ import annotations
 
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List
 
 from repro.experiments import runner
@@ -60,11 +68,15 @@ EXPERIMENTS: Dict[str, Callable] = {
     "extension-lfs": lfs_ordering_experiment,
 }
 
-USAGE = "usage: python -m repro <name> [<name> ...] [--jobs N] [--no-cache] [--cache-dir DIR] [--plot]"
+USAGE = (
+    "usage: python -m repro <name> [<name> ...] [--jobs N] [--no-cache]"
+    " [--cache-dir DIR] [--plot] [--metrics-out FILE]\n"
+    "       python -m repro observe [scan|fldc|mac] [--out FILE]"
+)
 
 
-def _print_stats() -> None:
-    for stats in runner.drain_stats():
+def _print_stats(stats_list) -> None:
+    for stats in stats_list:
         print(f"[runner] {stats.summary()}", file=sys.stderr, flush=True)
 
 
@@ -74,6 +86,8 @@ def main(argv) -> int:
     jobs = 1
     use_cache = True
     cache_dir = None
+    metrics_out = None
+    out_path = None
     names: List[str] = []
     i = 0
     while i < len(args):
@@ -82,7 +96,7 @@ def main(argv) -> int:
             plot = True
         elif arg == "--no-cache":
             use_cache = False
-        elif arg in ("--jobs", "--cache-dir"):
+        elif arg in ("--jobs", "--cache-dir", "--metrics-out", "--out"):
             if i + 1 >= len(args):
                 print(f"{arg} needs a value", file=sys.stderr)
                 print(USAGE, file=sys.stderr)
@@ -97,8 +111,16 @@ def main(argv) -> int:
                 if jobs < 1:
                     print("--jobs needs a positive integer", file=sys.stderr)
                     return 2
-            else:
+            elif arg == "--cache-dir":
                 cache_dir = value
+            elif arg == "--metrics-out":
+                metrics_out = value
+            else:
+                out_path = value
+        elif arg.startswith("--metrics-out="):
+            metrics_out = arg.split("=", 1)[1]
+        elif arg.startswith("--out="):
+            out_path = arg.split("=", 1)[1]
         elif arg.startswith("--jobs="):
             try:
                 jobs = int(arg.split("=", 1)[1])
@@ -123,11 +145,34 @@ def main(argv) -> int:
     if "--all" in names:
         names = [n for n in names if n != "--all"] or ["all"]
 
+    if names and names[0] == "observe":
+        from repro.experiments.observe import SCENARIOS, observe_figure
+
+        scenarios = names[1:] or ["scan"]
+        unknown = [s for s in scenarios if s not in SCENARIOS]
+        if unknown:
+            print(
+                f"unknown scenario(s): {', '.join(unknown)}"
+                f" (choose from {', '.join(SCENARIOS)})",
+                file=sys.stderr,
+            )
+            return 2
+        for scenario in scenarios:
+            if out_path is not None and len(scenarios) == 1:
+                dest = out_path
+            else:
+                dest = f"observe-{scenario}.jsonl"
+            report = observe_figure(scenario, out_path=dest)
+            print(report.render())
+            print()
+        return 0
+
     if not names or names == ["list"]:
         print("available experiments:")
         for name in EXPERIMENTS:
             print(f"  {name}")
         print("  all")
+        print("  observe")
         print(f"\n{USAGE}")
         return 0 if names else 2
     if names == ["all"]:
@@ -138,12 +183,15 @@ def main(argv) -> int:
         print("run `python -m repro list` for the catalogue", file=sys.stderr)
         return 2
 
+    all_stats = []
     with runner.configuration(jobs=jobs, use_cache=use_cache, cache_dir=cache_dir):
         runner.drain_stats()
         for name in names:
             result = EXPERIMENTS[name]()
             print(result.render())
-            _print_stats()
+            stats = runner.drain_stats()
+            all_stats.extend(stats)
+            _print_stats(stats)
             if plot:
                 from repro.experiments.viz import plot_figure
 
@@ -152,6 +200,15 @@ def main(argv) -> int:
                     print()
                     print(chart)
             print()
+    if metrics_out is not None:
+        from repro.obs.export import run_stats_records, write_jsonl
+
+        count = write_jsonl(Path(metrics_out), run_stats_records(all_stats))
+        print(
+            f"[metrics] wrote {count} record(s) to {metrics_out}",
+            file=sys.stderr,
+            flush=True,
+        )
     return 0
 
 

@@ -1,0 +1,213 @@
+"""``repro observe`` — run one instrumented scenario and dump its telemetry.
+
+Where the figure drivers ask *does the reproduction match the paper*,
+this driver asks *what did the layers actually do*: it runs a small,
+fixed workload with the kernel's always-on observability wired into the
+ICL under test, then exports every metric sample, event, and span as
+JSONL (plus human-readable summaries).
+
+The scenarios are chosen so inference phases and kernel activity
+overlap on the simulated timeline:
+
+* ``scan`` — FCCD probes a file larger than the cache, so probe misses
+  force reclaim: ``fccd.probe_batch`` spans enclose ``kernel.reclaim``
+  events.  This is the join the acceptance test checks.
+* ``fldc`` — FLDC stats and refreshes an aged directory:
+  ``fldc.stat_batch`` / ``fldc.refresh`` spans over syscall latency
+  histograms.
+* ``mac`` — MAC grows an allocation against a competitor:
+  ``mac.gb_alloc`` / ``mac.alloc_round`` spans against fault counters
+  and reclaim events.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.icl.fccd import FCCD
+from repro.icl.fldc import FLDC
+from repro.icl.mac import MAC
+from repro.obs.export import (
+    summarize_events,
+    summarize_metrics,
+    write_jsonl,
+)
+from repro.sim import Kernel, MachineConfig
+from repro.sim import syscalls as sc
+from repro.workloads.files import age_directory, create_files, make_file
+
+KIB = 1024
+MIB = 1024 * 1024
+
+SCENARIOS = ("scan", "fldc", "mac")
+
+OBSERVE_SEED = 0x0B5E12
+
+
+def observe_config(memory_mb: int = 48) -> MachineConfig:
+    """A small machine so scenarios finish in seconds."""
+    return MachineConfig(
+        page_size=64 * KIB,
+        memory_bytes=memory_mb * MIB,
+        kernel_reserved_bytes=16 * MIB,
+        data_disks=1,
+    )
+
+
+@dataclass
+class ObserveReport:
+    """One observed scenario: its records plus rendered summaries."""
+
+    scenario: str
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    out_path: Optional[str] = None
+    result: Any = None
+
+    def spans(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        return [
+            r
+            for r in self.records
+            if r.get("type") == "span" and (name is None or r.get("name") == name)
+        ]
+
+    def events(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        return [
+            r
+            for r in self.records
+            if r.get("type") == "event" and (name is None or r.get("name") == name)
+        ]
+
+    def metrics(self) -> List[Dict[str, Any]]:
+        return [r for r in self.records if r.get("type") == "metric"]
+
+    def events_within(self, span: Dict[str, Any], name: str) -> List[Dict[str, Any]]:
+        """Events named ``name`` inside the span's simulated-time window."""
+        lo, hi = span["start_ns"], span.get("end_ns", span["start_ns"])
+        return [e for e in self.events(name) if lo <= e["t_ns"] <= hi]
+
+    def render(self) -> str:
+        parts = [f"== observe: {self.scenario} =="]
+        parts.append(summarize_metrics(self.metrics()))
+        parts.append("")
+        parts.append(summarize_events(self.records))
+        if self.out_path:
+            parts.append("")
+            parts.append(f"wrote {len(self.records)} record(s) to {self.out_path}")
+        return "\n".join(parts)
+
+
+# ======================================================================
+# Scenarios
+# ======================================================================
+def _scan_scenario(kernel: Kernel, config: MachineConfig, seed: int) -> Any:
+    """FCCD probing with the cache full: probe misses trigger reclaim.
+
+    Probing is denser than the paper's defaults (a prediction unit of a
+    few pages instead of 5 MB) so that the probe misses themselves
+    outgrow the reclaim batch headroom — ``kernel.reclaim`` events then
+    land *inside* ``fccd.probe_batch`` spans, which is exactly the
+    inference-versus-kernel join this scenario exists to demonstrate.
+    """
+    path = "/mnt0/observe.dat"
+    nbytes = config.available_bytes * 3 // 2
+    kernel.run_process(make_file(path, nbytes, sync=False), "setup")
+    fccd = FCCD(
+        rng=random.Random(seed),
+        access_unit_bytes=8 * MIB,
+        prediction_unit_bytes=256 * KIB,
+        obs=kernel.obs,
+    )
+    plan = kernel.run_process(fccd.plan_file(path), "probe")
+    return {"segments": len(plan.segments), "probes": plan.total_probes}
+
+
+def _fldc_scenario(kernel: Kernel, config: MachineConfig, seed: int) -> Any:
+    """FLDC detection and a directory refresh over an aged directory."""
+    directory = "/mnt0/aged"
+    rng = random.Random(seed)
+
+    def setup():
+        yield sc.mkdir(directory)
+        yield from create_files(directory, 24, 256 * KIB, sync=False)
+        yield from age_directory(directory, epochs=4, rng=rng)
+
+    kernel.run_process(setup(), "setup")
+    fldc = FLDC(obs=kernel.obs)
+
+    def detect_and_refresh():
+        names = (yield sc.readdir(directory)).value
+        ordered, _stats = yield from fldc.layout_order(
+            [f"{directory}/{n}" for n in names]
+        )
+        report = yield from fldc.refresh_directory(directory)
+        return {"files": len(ordered), "moved": report.files_moved}
+
+    return kernel.run_process(detect_and_refresh(), "fldc")
+
+
+def _mac_scenario(kernel: Kernel, config: MachineConfig, seed: int) -> Any:
+    """MAC growing an allocation while a competitor holds memory."""
+    ps = config.page_size
+    competitor_bytes = config.available_bytes // 3
+
+    def competitor():
+        region = (yield sc.vm_alloc(competitor_bytes)).value
+        npages = competitor_bytes // ps
+        for _ in range(6):
+            yield sc.touch_range(region, 0, npages)
+            yield sc.sleep(50 * 10**6)
+
+    def mac_app():
+        yield sc.sleep(100 * 10**6)
+        mac = MAC(
+            page_size=ps,
+            initial_increment_bytes=4 * MIB,
+            max_increment_bytes=16 * MIB,
+            rng=random.Random(seed),
+            obs=kernel.obs,
+        )
+        allocation = yield from mac.gb_alloc(4 * MIB, config.available_bytes, MIB)
+        granted = 0 if allocation is None else allocation.granted_bytes
+        if allocation is not None:
+            yield from mac.gb_free(allocation)
+        return {"granted_mb": granted // MIB}
+
+    kernel.spawn(competitor(), "competitor")
+    proc = kernel.spawn(mac_app(), "mac")
+    kernel.run()
+    return proc.result
+
+
+_SCENARIO_FNS = {
+    "scan": _scan_scenario,
+    "fldc": _fldc_scenario,
+    "mac": _mac_scenario,
+}
+
+
+# ======================================================================
+# Driver
+# ======================================================================
+def observe_figure(
+    scenario: str = "scan",
+    out_path: Optional[str] = None,
+    config: Optional[MachineConfig] = None,
+    seed: int = OBSERVE_SEED,
+) -> ObserveReport:
+    """Run one scenario with observability on; optionally dump JSONL."""
+    if scenario not in _SCENARIO_FNS:
+        raise ValueError(
+            f"unknown scenario {scenario!r}; choose from {', '.join(SCENARIOS)}"
+        )
+    config = config or observe_config()
+    kernel = Kernel(config)
+    result = _SCENARIO_FNS[scenario](kernel, config, seed)
+    records = list(kernel.obs.dump_records())
+    report = ObserveReport(scenario=scenario, records=records, result=result)
+    if out_path is not None:
+        write_jsonl(Path(out_path), records)
+        report.out_path = str(out_path)
+    return report

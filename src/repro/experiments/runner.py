@@ -42,6 +42,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence
 
+from repro.obs import capture_metrics
+from repro.obs.metrics import merge_samples
+
 DEFAULT_CACHE_DIR = Path(os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
 
 
@@ -149,13 +152,19 @@ class TrialSpec:
 
 @dataclass
 class TrialOutcome:
-    """What happened to one trial: its value, timing, and cache status."""
+    """What happened to one trial: its value, timing, and cache status.
+
+    ``metrics`` holds the observability samples captured while the trial
+    ran (plain dicts from :meth:`MetricsRegistry.collect`, so they pickle
+    across the process pool and round-trip through the cache).
+    """
 
     experiment_id: str
     trial_index: int
     value: Any
     elapsed_s: float
     cached: bool
+    metrics: List[Dict[str, Any]] = field(default_factory=list)
 
 
 @dataclass
@@ -168,6 +177,7 @@ class RunStats:
     simulated: int = 0
     wall_s: float = 0.0
     trial_s: List[float] = field(default_factory=list)
+    metric_samples: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def sim_s(self) -> float:
@@ -247,7 +257,14 @@ def _cache_load(path: Path) -> Optional[Dict[str, Any]]:
         return None
 
 
-def _cache_store(path: Path, key: str, spec: TrialSpec, value: Any, elapsed_s: float) -> None:
+def _cache_store(
+    path: Path,
+    key: str,
+    spec: TrialSpec,
+    value: Any,
+    elapsed_s: float,
+    metrics: List[Dict[str, Any]],
+) -> None:
     blob = {
         "key": key,
         "experiment": spec.experiment_id,
@@ -255,6 +272,7 @@ def _cache_store(path: Path, key: str, spec: TrialSpec, value: Any, elapsed_s: f
         "seed": spec.resolved_seed(),
         "elapsed_s": elapsed_s,
         "value": value,
+        "metrics": metrics,
     }
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_suffix(".tmp")
@@ -277,13 +295,23 @@ def clear_cache(cache_dir: Optional[os.PathLike] = None) -> int:
 # Execution
 # ======================================================================
 def _invoke(fn: Callable, params: Dict[str, Any], seed: int):
-    """Worker-side trial execution; returns (json-normalised value, secs)."""
+    """Worker-side trial execution.
+
+    Returns ``(json-normalised value, secs, metric samples)``.  The
+    capture context attaches to every enabled :class:`Observability`
+    the trial constructs (each trial builds its own kernel), so the
+    trial function needs no observability plumbing of its own.
+    """
     t0 = time.perf_counter()
-    value = fn(seed=seed, **params)
+    with capture_metrics() as capture:
+        value = fn(seed=seed, **params)
     elapsed = time.perf_counter() - t0
     # Normalise through JSON so fresh results are structurally identical
-    # to cache hits (tuples -> lists, int dict keys -> str).
-    return json.loads(json.dumps(value)), elapsed
+    # to cache hits (tuples -> lists, int dict keys -> str).  Samples too:
+    # histogram merges compare ``bounds``, which must not differ between a
+    # fresh tuple and a cached list.
+    samples = json.loads(json.dumps(capture.samples()))
+    return json.loads(json.dumps(value)), elapsed, samples
 
 
 def run_trials(
@@ -326,14 +354,18 @@ def run_trials(
                     value=hit["value"],
                     elapsed_s=0.0,
                     cached=True,
+                    metrics=hit.get("metrics", []),
                 )
                 stats.cached += 1
+                stats.metric_samples = merge_samples(
+                    stats.metric_samples, outcomes[i].metrics
+                )
                 if cfg.progress is not None:
                     cfg.progress(outcomes[i])
                 continue
         pending.append(i)
 
-    def finish(i: int, value: Any, elapsed: float) -> None:
+    def finish(i: int, value: Any, elapsed: float, metrics: List[Dict[str, Any]]) -> None:
         spec = specs[i]
         outcomes[i] = TrialOutcome(
             experiment_id=spec.experiment_id,
@@ -341,12 +373,19 @@ def run_trials(
             value=value,
             elapsed_s=elapsed,
             cached=False,
+            metrics=metrics,
         )
         stats.simulated += 1
         stats.trial_s.append(elapsed)
+        stats.metric_samples = merge_samples(stats.metric_samples, metrics)
         if use_cache and keys[i] is not None:
             _cache_store(
-                _cache_path(directory, spec, keys[i]), keys[i], spec, value, elapsed
+                _cache_path(directory, spec, keys[i]),
+                keys[i],
+                spec,
+                value,
+                elapsed,
+                metrics,
             )
         if cfg.progress is not None:
             cfg.progress(outcomes[i])
@@ -355,8 +394,10 @@ def run_trials(
         if jobs == 1 or len(pending) == 1:
             for i in pending:
                 spec = specs[i]
-                value, elapsed = _invoke(spec.fn, dict(spec.params), spec.resolved_seed())
-                finish(i, value, elapsed)
+                value, elapsed, metrics = _invoke(
+                    spec.fn, dict(spec.params), spec.resolved_seed()
+                )
+                finish(i, value, elapsed, metrics)
         else:
             workers = min(jobs, len(pending))
             with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -369,8 +410,8 @@ def run_trials(
                 # Collect in submission order: assembly stays deterministic
                 # no matter which worker finishes first.
                 for i, future in zip(pending, futures):
-                    value, elapsed = future.result()
-                    finish(i, value, elapsed)
+                    value, elapsed, metrics = future.result()
+                    finish(i, value, elapsed, metrics)
 
     stats.wall_s = time.perf_counter() - wall_start
     _session_stats.append(stats)

@@ -11,6 +11,7 @@ import random
 from dataclasses import dataclass, fields
 from typing import Dict, List, Optional
 
+from repro.obs import DISABLED, Observability
 from repro.toolbox.repository import ParameterRepository
 
 
@@ -53,8 +54,13 @@ class ICL:
 
     Holds the pieces every layer shares: the parameter repository
     (microbenchmark results), a seeded RNG (probe placement must be
-    random but experiments must be repeatable), and the technique
-    profile for the table generators.
+    random but experiments must be repeatable), the technique profile
+    for the table generators, and an observability sink.  ``obs``
+    defaults to the shared no-op instance; pass ``kernel.obs`` to put
+    inference-phase spans (``fccd.probe_batch``, ``mac.alloc_round``,
+    ...) on the kernel's simulated timeline.  This is host-side wiring,
+    like the RNG — the ICL still *observes* the OS only through
+    syscalls.
     """
 
     name: str = "icl"
@@ -72,9 +78,11 @@ class ICL:
         self,
         repository: Optional[ParameterRepository] = None,
         rng: Optional[random.Random] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.repository = repository or ParameterRepository()
         self.rng = rng or random.Random(0x6B0C5)
+        self.obs = obs if obs is not None else DISABLED
 
 
 _REGISTRY: Dict[str, type] = {}

@@ -67,10 +67,12 @@ def compose_order(
         split.high_center - split.low_center >= math.log(MIN_SEPARATION_FACTOR)
     )
     if not genuine:
+        fccd.obs.count("icl.compose.no_split")
         order = sorted(paths, key=ino_key)
         return ComposedOrdering(
             order=order, predicted_on_disk=order, split_detected=False
         )
+    fccd.obs.count("icl.compose.split_detected")
     cached = sorted((paths[i] for i in split.low_group), key=ino_key)
     on_disk = sorted((paths[i] for i in split.high_group), key=ino_key)
     return ComposedOrdering(

@@ -110,6 +110,7 @@ class FCCD(ICL):
         access_unit_bytes: Optional[int] = None,
         prediction_unit_bytes: Optional[int] = None,
         probe_placement: str = "random",
+        obs=None,
     ) -> None:
         """``probe_placement`` is ``"random"`` (the paper's choice) or
         ``"fixed"`` (probe the middle byte of every prediction unit).
@@ -117,7 +118,7 @@ class FCCD(ICL):
         probe from an earlier run sits at exactly the same offset, so a
         re-probe reports its own earlier Heisenberg side-effects as
         cache contents (§4.1.2's failure scenario)."""
-        super().__init__(repository, rng)
+        super().__init__(repository, rng, obs)
         if probe_placement not in ("random", "fixed"):
             raise ValueError(f"unknown probe placement {probe_placement!r}")
         self.probe_placement = probe_placement
@@ -180,15 +181,22 @@ class FCCD(ICL):
         """
         if size < SAFE_PROBE_MIN_BYTES:
             length = max(size, 0)
+            self.obs.count("icl.fccd.unprobeable_files")
             return [AccessSegment(0, length, FAKE_HIGH_PROBE_NS, 0)]
         segments: List[AccessSegment] = []
         for offset, length in self.segments_of(size, align):
             total = 0
             count = 0
-            for point in self._probe_points(offset, length, size):
-                result = yield sc.pread(fd, point, 1)
-                total += result.elapsed_ns
-                count += 1
+            with self.obs.span(
+                "fccd.probe_batch", offset=offset, length=length
+            ) as span:
+                for point in self._probe_points(offset, length, size):
+                    result = yield sc.pread(fd, point, 1)
+                    total += result.elapsed_ns
+                    count += 1
+                span.attrs["probes"] = count
+                span.attrs["probe_ns"] = total
+            self.obs.count("icl.fccd.probes", count)
             segments.append(AccessSegment(offset, length, total, count))
         return segments
 
@@ -231,15 +239,20 @@ class FCCD(ICL):
         ``rounds > 1`` probes repeatedly and medians the observations —
         worthwhile when other processes' I/O adds timing noise.
         """
-        fd = (yield sc.open(path)).value
-        try:
-            size = (yield sc.fstat(fd)).value.size
-            if rounds == 1:
-                segments = yield from self.probe_fd(fd, size, align)
-            else:
-                segments = yield from self.probe_fd_repeated(fd, size, align, rounds)
-        finally:
-            yield sc.close(fd)
+        with self.obs.span("fccd.plan_file", path=path, rounds=rounds) as span:
+            fd = (yield sc.open(path)).value
+            try:
+                size = (yield sc.fstat(fd)).value.size
+                span.attrs["size"] = size
+                if rounds == 1:
+                    segments = yield from self.probe_fd(fd, size, align)
+                else:
+                    segments = yield from self.probe_fd_repeated(
+                        fd, size, align, rounds
+                    )
+            finally:
+                yield sc.close(fd)
+        self.obs.count("icl.fccd.files_planned")
         return FilePlan(path=path, size=size, segments=segments)
 
     def best_ranges(self, path: str, align: int = 1) -> Generator:

@@ -59,8 +59,10 @@ class FLDC(ICL):
     def stat_files(self, paths: Sequence[str]) -> Generator:
         """Probe each file with stat(); returns {path: StatResult}."""
         stats = {}
-        for path in paths:
-            stats[path] = (yield sc.stat(path)).value
+        with self.obs.span("fldc.stat_batch", files=len(paths)):
+            for path in paths:
+                stats[path] = (yield sc.stat(path)).value
+        self.obs.count("icl.fldc.stats", len(paths))
         return stats
 
     def layout_order(self, paths: Sequence[str]) -> Generator:
@@ -121,34 +123,40 @@ class FLDC(ICL):
         """
         dir_path = dir_path.rstrip("/")
         tmp_path = dir_path + ".gbrefresh"
-        names = (yield sc.readdir(dir_path)).value
-        stats = {}
-        for name in names:
-            stats[name] = (yield sc.stat(f"{dir_path}/{name}")).value
-            if stats[name].kind.name != "FILE":
-                raise ValueError(
-                    f"refresh_directory: {dir_path}/{name} is not a regular file"
-                )
-        if order is None:
-            # Smallest first; name breaks ties deterministically.
-            ordered = sorted(names, key=lambda n: (stats[n].size, n))
-        else:
-            ordered = list(order)
-            if sorted(ordered) != sorted(names):
-                raise ValueError("explicit refresh order must cover the directory")
+        with self.obs.span("fldc.refresh", directory=dir_path) as span:
+            names = (yield sc.readdir(dir_path)).value
+            stats = {}
+            for name in names:
+                stats[name] = (yield sc.stat(f"{dir_path}/{name}")).value
+                if stats[name].kind.name != "FILE":
+                    raise ValueError(
+                        f"refresh_directory: {dir_path}/{name} is not a regular file"
+                    )
+            if order is None:
+                # Smallest first; name breaks ties deterministically.
+                ordered = sorted(names, key=lambda n: (stats[n].size, n))
+            else:
+                ordered = list(order)
+                if sorted(ordered) != sorted(names):
+                    raise ValueError(
+                        "explicit refresh order must cover the directory"
+                    )
 
-        yield sc.mkdir(tmp_path)
-        bytes_copied = 0
-        for name in ordered:
-            bytes_copied += yield from self._copy_file(
-                f"{dir_path}/{name}", f"{tmp_path}/{name}"
-            )
-            st = stats[name]
-            yield sc.utimes(f"{tmp_path}/{name}", st.atime, st.mtime)
-        for name in ordered:
-            yield sc.unlink(f"{dir_path}/{name}")
-        yield sc.rmdir(dir_path)
-        yield sc.rename(tmp_path, dir_path)
+            yield sc.mkdir(tmp_path)
+            bytes_copied = 0
+            for name in ordered:
+                bytes_copied += yield from self._copy_file(
+                    f"{dir_path}/{name}", f"{tmp_path}/{name}"
+                )
+                st = stats[name]
+                yield sc.utimes(f"{tmp_path}/{name}", st.atime, st.mtime)
+            for name in ordered:
+                yield sc.unlink(f"{dir_path}/{name}")
+            yield sc.rmdir(dir_path)
+            yield sc.rename(tmp_path, dir_path)
+            span.attrs["files_moved"] = len(ordered)
+            span.attrs["bytes_copied"] = bytes_copied
+        self.obs.count("icl.fldc.refreshes")
         return RefreshReport(
             directory=dir_path,
             files_moved=len(ordered),

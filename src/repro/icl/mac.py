@@ -81,8 +81,9 @@ class MAC(ICL):
         reverify_stride: int = 1,
         settle_ns: int = 20 * MILLIS,
         increment_policy: str = "paper",
+        obs=None,
     ) -> None:
-        super().__init__(repository, rng)
+        super().__init__(repository, rng, obs)
         if page_size <= 0:
             raise ValueError("page_size must be positive")
         if slow_count < 1 or slow_window_touches < slow_count:
@@ -164,6 +165,7 @@ class MAC(ICL):
                 if len(recent) >= self.slow_count:
                     # The page daemon woke up: skip straight to verification.
                     self.stats.loop1_aborts += 1
+                    self.obs.count("icl.mac.loop1_aborts")
                     reached = index + 1
                     break
         fits = reached == npages
@@ -223,35 +225,54 @@ class MAC(ICL):
         regions: List[Tuple[int, int]] = []
         confirmed = 0
         increment = self.initial_increment_pages
-        while confirmed < max_pages:
-            chunk = min(increment, max_pages - confirmed)
-            region_id = (yield sc.vm_alloc(chunk * page, "gb_alloc")).value
-            fits = yield from self._probe_chunk(region_id, chunk, threshold)
-            if fits:
-                fits = yield from self._reverify(regions, threshold)
-            if fits:
-                regions.append((region_id, chunk))
-                confirmed += chunk
-                if self.increment_policy != "fixed":
-                    increment = min(increment * 2, self.max_increment_pages)
-            else:
-                yield sc.vm_free(region_id)
-                self.stats.backoffs += 1
-                if increment == self.initial_increment_pages:
-                    break  # even the smallest increment does not fit
-                if self.increment_policy == "aggressive":
-                    increment = max(increment // 2, self.initial_increment_pages)
+        with self.obs.span(
+            "mac.gb_alloc", min_bytes=minimum_bytes, max_bytes=maximum_bytes
+        ) as alloc_span:
+            while confirmed < max_pages:
+                chunk = min(increment, max_pages - confirmed)
+                region_id = (yield sc.vm_alloc(chunk * page, "gb_alloc")).value
+                with self.obs.span(
+                    "mac.alloc_round", chunk_pages=chunk, confirmed_pages=confirmed
+                ) as round_span:
+                    touches_before = self.stats.probe_touches
+                    fits = yield from self._probe_chunk(region_id, chunk, threshold)
+                    if fits:
+                        fits = yield from self._reverify(regions, threshold)
+                    round_span.attrs["fits"] = fits
+                    round_span.attrs["touches"] = (
+                        self.stats.probe_touches - touches_before
+                    )
+                self.obs.count(
+                    "icl.mac.probe_touches",
+                    self.stats.probe_touches - touches_before,
+                )
+                if fits:
+                    regions.append((region_id, chunk))
+                    confirmed += chunk
+                    if self.increment_policy != "fixed":
+                        increment = min(increment * 2, self.max_increment_pages)
                 else:
-                    increment = self.initial_increment_pages
+                    yield sc.vm_free(region_id)
+                    self.stats.backoffs += 1
+                    self.obs.count("icl.mac.backoffs")
+                    if increment == self.initial_increment_pages:
+                        break  # even the smallest increment does not fit
+                    if self.increment_policy == "aggressive":
+                        increment = max(increment // 2, self.initial_increment_pages)
+                    else:
+                        increment = self.initial_increment_pages
 
-        granted = (confirmed * page // multiple_bytes) * multiple_bytes
-        granted = min(granted, maximum_bytes)
+            granted = (confirmed * page // multiple_bytes) * multiple_bytes
+            granted = min(granted, maximum_bytes)
+            alloc_span.attrs["granted_bytes"] = granted
         if granted < minimum_bytes:
             for region_id, _npages in regions:
                 yield sc.vm_free(region_id)
             self.stats.denials += 1
+            self.obs.count("icl.mac.denials")
             return None
         self.stats.grants += 1
+        self.obs.count("icl.mac.grants")
         return GbAllocation(regions=regions, granted_bytes=granted, page_size=page)
 
     def gb_free(self, allocation: GbAllocation) -> Generator:
@@ -290,6 +311,7 @@ class MAC(ICL):
                 )
             yield sc.sleep(retry_ns)
             self.stats.waits += 1
+            self.obs.count("icl.mac.waits")
 
 
 @dataclass

@@ -1,0 +1,173 @@
+"""``repro.obs`` — the unified observability layer.
+
+One :class:`Observability` instance belongs to each simulated kernel
+(``kernel.obs``): a metrics registry plus a structured event stream,
+both stamped with the kernel's *simulated* clock.  It is always-on and
+cheap — hot-path instruments are plain attribute bumps, and everything
+pull-style (disk stats, page-daemon stats, scheduler stats) costs
+nothing until :meth:`Observability.collect` reads it.
+
+ICLs accept an ``obs=`` keyword (default: the shared :data:`DISABLED`
+no-op instance); pass ``kernel.obs`` to put inference-phase spans such
+as ``fccd.probe_batch`` and ``mac.alloc_round`` on the same simulated
+timeline as kernel events such as ``kernel.reclaim`` — the join the
+paper's whole methodology rests on.
+
+:func:`capture_metrics` is the runner-side bridge: inside its context,
+every enabled ``Observability`` constructed (i.e. each trial kernel)
+registers itself, and the capture's merged samples travel back across
+the process pool as plain dicts.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.events import (
+    DEFAULT_EVENT_CAPACITY,
+    EventStream,
+    NULL_SPAN,
+    Span,
+)
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_LATENCY_BOUNDS_NS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SnapshotStats,
+    merge_samples,
+)
+
+__all__ = [
+    "Observability", "DISABLED", "capture_metrics", "MetricsCapture",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram", "SnapshotStats",
+    "EventStream", "Span", "merge_samples",
+    "DEFAULT_LATENCY_BOUNDS_NS", "DEFAULT_EVENT_CAPACITY",
+]
+
+
+class Observability:
+    """Metrics + events for one simulated machine.
+
+    ``clock`` is anything with a ``now`` property (the kernel's
+    :class:`~repro.sim.clock.Clock`); with no clock, records are stamped
+    at time 0.  A disabled instance skips all recording with one branch
+    per call and never registers with an active capture.
+    """
+
+    def __init__(self, clock: Any = None, *, enabled: bool = True,
+                 event_capacity: int = DEFAULT_EVENT_CAPACITY) -> None:
+        self._clock = clock
+        self.enabled = enabled
+        self.metrics = MetricsRegistry()
+        self.events = EventStream(self.now, capacity=event_capacity)
+        # Per-syscall (counter, histogram) pairs, cached by name so the
+        # kernel's dispatch loop pays one dict lookup, not an f-string
+        # plus two registry lookups, per call.
+        self._syscall_instruments: Dict[str, tuple] = {}
+        if enabled and _ACTIVE_CAPTURE is not None:
+            _ACTIVE_CAPTURE.attach(self)
+
+    def now(self) -> int:
+        return self._clock.now if self._clock is not None else 0
+
+    # -- metrics ---------------------------------------------------------
+    def count(self, name: str, amount: int = 1) -> None:
+        if self.enabled:
+            self.metrics.counter(name).value += amount
+
+    def gauge_set(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.metrics.gauge(name).value = value
+
+    def observe(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.metrics.histogram(name).observe(value)
+
+    def record_syscall(self, name: str, elapsed_ns: int) -> None:
+        """Hot path: one count and one latency observation per syscall."""
+        if not self.enabled:
+            return
+        pair = self._syscall_instruments.get(name)
+        if pair is None:
+            pair = (
+                self.metrics.counter(f"kernel.syscall.{name}.calls"),
+                self.metrics.histogram(f"kernel.syscall.{name}.latency_ns"),
+            )
+            self._syscall_instruments[name] = pair
+        pair[0].value += 1
+        pair[1].observe(elapsed_ns)
+
+    def record_syscall_error(self, name: str) -> None:
+        if self.enabled:
+            self.metrics.counter(f"kernel.syscall.{name}.errors").value += 1
+
+    # -- events ----------------------------------------------------------
+    def event(self, name: str, **attrs: Any) -> None:
+        if self.enabled:
+            self.events.emit(name, **attrs)
+
+    def span(self, name: str, **attrs: Any):
+        if not self.enabled:
+            return NULL_SPAN
+        return self.events.span(name, **attrs)
+
+    # -- export ----------------------------------------------------------
+    def collect(self) -> List[Dict[str, Any]]:
+        """Every metric as plain-dict samples (events stay in the ring)."""
+        if not self.enabled:
+            return []
+        return self.metrics.collect()
+
+    def dump_records(self) -> Iterator[Dict[str, Any]]:
+        """Metrics then events/spans, ready for ``write_jsonl``."""
+        from repro.obs.export import event_records
+
+        yield from self.collect()
+        yield from event_records(self.events)
+
+
+#: Shared no-op instance — the default ``obs`` for ICLs so the
+#: instrumentation costs one branch when nobody is watching.  Never
+#: flip its ``enabled`` flag; create a real instance instead.
+DISABLED = Observability(enabled=False)
+
+
+# ----------------------------------------------------------------------
+# Per-trial capture (the runner-side bridge)
+# ----------------------------------------------------------------------
+class MetricsCapture:
+    """Collects samples from every Observability born inside a capture."""
+
+    def __init__(self) -> None:
+        self._sources: List[Observability] = []
+
+    def attach(self, obs: Observability) -> None:
+        self._sources.append(obs)
+
+    def samples(self) -> List[Dict[str, Any]]:
+        """Merged samples across all attached sources (picklable)."""
+        return merge_samples(*(obs.collect() for obs in self._sources))
+
+
+_ACTIVE_CAPTURE: Optional[MetricsCapture] = None
+
+
+@contextmanager
+def capture_metrics() -> Iterator[MetricsCapture]:
+    """Capture the metrics of every kernel built inside the context.
+
+    Used by :func:`repro.experiments.runner._invoke` so each trial's
+    simulator metrics ride back to the parent process alongside the
+    trial's value.  Nesting restores the previous capture on exit.
+    """
+    global _ACTIVE_CAPTURE
+    saved = _ACTIVE_CAPTURE
+    capture = MetricsCapture()
+    _ACTIVE_CAPTURE = capture
+    try:
+        yield capture
+    finally:
+        _ACTIVE_CAPTURE = saved

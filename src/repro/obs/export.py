@@ -1,0 +1,216 @@
+"""Exporters: JSONL dumps, validation, and aggregated text summaries.
+
+Every record is one JSON object per line — metrics, events, spans, and
+runner telemetry share the artifact, distinguished by their ``type``
+field (``metric`` / ``event`` / ``span`` / ``run_stats`` / ``meta``).
+CI validates the artifact with ``python -m repro.obs.export --validate
+FILE...``, which exits non-zero on the first malformed line.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce exotic values (tuples, keys, generators) to JSON-safe form."""
+    return json.loads(json.dumps(value, default=str))
+
+
+def write_jsonl(path: Union[str, Path],
+                records: Iterable[Dict[str, Any]]) -> int:
+    """Write records one-per-line; returns the number written."""
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w") as handle:
+        for record in records:
+            handle.write(json.dumps(_jsonable(record), sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    return [json.loads(line) for line in Path(path).read_text().splitlines()
+            if line.strip()]
+
+
+def validate_jsonl(path: Union[str, Path]) -> int:
+    """Check every line parses as a JSON object with a ``type`` field.
+
+    Returns the record count; raises ``ValueError`` naming the first
+    offending line otherwise.  This is the check CI runs against the
+    artifacts the smoke run uploads.
+    """
+    count = 0
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        if not line.strip():
+            raise ValueError(f"{path}:{lineno}: blank line in JSONL output")
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as err:
+            raise ValueError(f"{path}:{lineno}: invalid JSON: {err}") from err
+        if not isinstance(record, dict) or "type" not in record:
+            raise ValueError(
+                f"{path}:{lineno}: record is not an object with a 'type' field"
+            )
+        count += 1
+    return count
+
+
+# ----------------------------------------------------------------------
+# Record builders
+# ----------------------------------------------------------------------
+def event_records(stream, include_unclosed: bool = True) -> Iterator[Dict[str, Any]]:
+    """Every record in an :class:`~repro.obs.events.EventStream`.
+
+    Spans still open at export time are emitted with ``end_ns: null``
+    and ``unclosed: true`` rather than silently dropped — an unclosed
+    span in a dump is a bug worth seeing.
+    """
+    yield from iter(stream)
+    if include_unclosed:
+        for span in stream.unclosed():
+            record = span.as_record()
+            record["unclosed"] = True
+            yield record
+
+
+def run_stats_records(stats_list) -> Iterator[Dict[str, Any]]:
+    """Runner telemetry (:class:`~repro.experiments.runner.RunStats`)
+    as JSONL records: one ``run_stats`` line per experiment, followed by
+    that experiment's merged per-trial metric samples tagged with the
+    experiment id."""
+    for stats in stats_list:
+        yield {
+            "type": "run_stats",
+            "experiment": stats.experiment_id,
+            "trials": stats.trials,
+            "cached": stats.cached,
+            "simulated": stats.simulated,
+            "wall_s": stats.wall_s,
+            "sim_s": stats.sim_s,
+        }
+        for sample in getattr(stats, "metric_samples", []):
+            tagged = dict(sample)
+            tagged["experiment"] = stats.experiment_id
+            yield tagged
+
+
+# ----------------------------------------------------------------------
+# Text summary
+# ----------------------------------------------------------------------
+def _format_ns(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 1e9:
+        return f"{value / 1e9:.2f}s"
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}ms"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f}us"
+    return f"{value:.0f}ns"
+
+
+def _histogram_quantile(sample: Dict[str, Any], q: float) -> Optional[float]:
+    bounds = sample.get("bounds")
+    buckets = sample.get("bucket_counts")
+    count = sample.get("count", 0)
+    if not bounds or not buckets or not count:
+        return None
+    rank = q * count
+    running = 0
+    for i, n in enumerate(buckets):
+        running += n
+        if running >= rank and n:
+            if i < len(bounds):
+                return float(bounds[i])
+            return sample.get("max")
+    return sample.get("max")
+
+
+def summarize_metrics(samples: Iterable[Dict[str, Any]]) -> str:
+    """An aligned text table over metric samples, sorted by name.
+
+    Counters/gauges get one value column; histograms show count, mean,
+    approximate p50/p95, and max in human time units (histogram values
+    here are simulated nanoseconds).
+    """
+    rows: List[List[str]] = []
+    for sample in sorted(samples, key=lambda s: (s["name"], s["kind"])):
+        if sample.get("type") != "metric":
+            continue
+        if sample["kind"] == "histogram":
+            count = sample.get("count", 0)
+            mean = (sample["sum"] / count) if count else None
+            rows.append([
+                sample["name"], "histogram", str(count),
+                _format_ns(mean),
+                _format_ns(_histogram_quantile(sample, 0.5)),
+                _format_ns(_histogram_quantile(sample, 0.95)),
+                _format_ns(sample.get("max")),
+            ])
+        else:
+            value = sample["value"]
+            shown = f"{value:g}" if isinstance(value, float) else str(value)
+            rows.append([sample["name"], sample["kind"], shown,
+                         "", "", "", ""])
+    header = ["name", "kind", "value/count", "mean", "p50", "p95", "max"]
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows)) if rows
+              else len(header[i]) for i in range(len(header))]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip()]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def summarize_events(records: Iterable[Dict[str, Any]]) -> str:
+    """Per-name event/span counts with total span time, as a text table."""
+    counts: Dict[tuple, Dict[str, Any]] = {}
+    for record in records:
+        if record.get("type") not in ("event", "span"):
+            continue
+        key = (record["type"], record["name"])
+        agg = counts.setdefault(key, {"n": 0, "elapsed": 0})
+        agg["n"] += 1
+        agg["elapsed"] += record.get("elapsed_ns") or 0
+    header = ["name", "type", "count", "total-time"]
+    rows = [
+        [name, kind, str(agg["n"]),
+         _format_ns(agg["elapsed"]) if kind == "span" else ""]
+        for (kind, name), agg in sorted(counts.items(),
+                                        key=lambda kv: kv[0][1])
+    ]
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows)) if rows
+              else len(header[i]) for i in range(len(header))]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip()]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def main(argv: List[str]) -> int:
+    args = argv[1:]
+    if not args or args[0] != "--validate" or len(args) < 2:
+        print("usage: python -m repro.obs.export --validate FILE [FILE ...]",
+              file=sys.stderr)
+        return 2
+    for target in args[1:]:
+        try:
+            count = validate_jsonl(target)
+        except (OSError, ValueError) as err:
+            print(f"FAIL: {err}", file=sys.stderr)
+            return 1
+        print(f"ok: {target}: {count} record(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -11,7 +11,10 @@ readably:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Iterable, Iterator, List, NamedTuple, Tuple, Union
+
+from repro.obs.metrics import SnapshotStats
 
 
 class FileKey(NamedTuple):
@@ -40,12 +43,34 @@ class PageEntry(NamedTuple):
     dirty: bool
 
 
+@dataclass
+class CacheStats(SnapshotStats):
+    """Access accounting shared by every replacement policy.
+
+    ``hits``/``misses`` count :meth:`CachePolicy.touch` calls on
+    present/absent pages, ``evictions`` counts victims surrendered by
+    :meth:`CachePolicy.pop_victims`, and ``demotions`` counts
+    drop-behind moves (:meth:`CachePolicy.demote` on a present page).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    demotions: int = 0
+
+
 class CachePolicy(ABC):
     """Interface every replacement policy implements.
 
     Policies never perform I/O and never enforce capacity; they only
     maintain recency/reference state and nominate victims on demand.
+    Every policy maintains a :class:`CacheStats` (subclasses call
+    ``super().__init__()`` and update it inside ``touch`` /
+    ``pop_victims`` / ``demote``).
     """
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
 
     @abstractmethod
     def touch(self, key: PageKey, dirty: bool = False) -> None:

@@ -41,6 +41,7 @@ class ClockPolicy(CachePolicy):
     """
 
     def __init__(self) -> None:
+        super().__init__()
         self._file_ring: "OrderedDict[PageKey, _Frame]" = OrderedDict()
         self._anon_ring: "OrderedDict[PageKey, _Frame]" = OrderedDict()
 
@@ -51,8 +52,10 @@ class ClockPolicy(CachePolicy):
         ring = self._ring_of(key)
         frame = ring.get(key)
         if frame is None:
+            self.stats.misses += 1
             ring[key] = _Frame(dirty)
         else:
+            self.stats.hits += 1
             frame.referenced = True
             frame.dirty = frame.dirty or dirty
 
@@ -77,6 +80,7 @@ class ClockPolicy(CachePolicy):
         if frame is not None:
             frame.referenced = False
             ring.move_to_end(key, last=False)
+            self.stats.demotions += 1
 
     @staticmethod
     def _sweep(ring: "OrderedDict[PageKey, _Frame]", victims: List[PageEntry],
@@ -97,6 +101,7 @@ class ClockPolicy(CachePolicy):
         self._sweep(self._file_ring, victims, count)
         if len(victims) < count:
             self._sweep(self._anon_ring, victims, count)
+        self.stats.evictions += len(victims)
         return victims
 
     def __len__(self) -> int:

@@ -13,14 +13,23 @@ from typing import Iterator, List
 from repro.sim.cache.base import CachePolicy, PageEntry, PageKey
 
 
+_ABSENT = object()
+
+
 class LRUPolicy(CachePolicy):
     """OrderedDict-backed LRU; most recent at the back, victims from the front."""
 
     def __init__(self) -> None:
+        super().__init__()
         self._pages: "OrderedDict[PageKey, bool]" = OrderedDict()
 
     def touch(self, key: PageKey, dirty: bool = False) -> None:
-        previous = self._pages.pop(key, False)
+        previous = self._pages.pop(key, _ABSENT)
+        if previous is _ABSENT:
+            self.stats.misses += 1
+            previous = False
+        else:
+            self.stats.hits += 1
         self._pages[key] = previous or dirty
 
     def contains(self, key: PageKey) -> bool:
@@ -41,11 +50,13 @@ class LRUPolicy(CachePolicy):
         while self._pages and len(victims) < count:
             key, dirty = self._pages.popitem(last=False)
             victims.append(PageEntry(key, dirty))
+        self.stats.evictions += len(victims)
         return victims
 
     def demote(self, key: PageKey) -> None:
         if key in self._pages:
             self._pages.move_to_end(key, last=False)
+            self.stats.demotions += 1
 
     def __len__(self) -> int:
         return len(self._pages)

@@ -42,6 +42,7 @@ class SegmapPolicy(CachePolicy):
     """Evict newest-owner-first, newest-insertion-first inside an owner."""
 
     def __init__(self) -> None:
+        super().__init__()
         # owner -> insertion-ordered pages (value = dirty bit)
         self._owners: Dict[Owner, "OrderedDict[PageKey, bool]"] = {}
         self._first_seen: Dict[Owner, int] = {}
@@ -63,9 +64,11 @@ class SegmapPolicy(CachePolicy):
     def touch(self, key: PageKey, dirty: bool = False) -> None:
         pages = self._pages_of(key)
         if key in pages:
+            self.stats.hits += 1
             if dirty:
                 pages[key] = True
         else:
+            self.stats.misses += 1
             pages[key] = dirty
             self._count += 1
 
@@ -112,6 +115,7 @@ class SegmapPolicy(CachePolicy):
             if not pages:
                 heapq.heappop(self._heap)
                 self._forget(owner)
+        self.stats.evictions += len(victims)
         return victims
 
     def __len__(self) -> int:

@@ -22,13 +22,21 @@ from dataclasses import dataclass, field
 from math import sqrt
 from typing import Tuple
 
+from repro.obs.metrics import SnapshotStats
 from repro.sim.config import DiskSpec
 from repro.sim.errors import InvalidArgument
 
 
 @dataclass
-class DiskStats:
-    """Counters accumulated over the life of one disk."""
+class DiskStats(SnapshotStats):
+    """Counters accumulated over the life of one disk.
+
+    Shares the snapshot/delta/as_dict idiom with
+    :class:`~repro.sim.vm.pagedaemon.PageDaemonStats`:
+    ``stats.delta(earlier)`` is the activity of one experiment phase,
+    and ``as_dict()`` is what the metrics registry exports — including
+    the seek/rotation/transfer breakdown of ``busy_ns``.
+    """
 
     reads: int = 0
     writes: int = 0

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Set, Tuple
 
+from repro.obs import Observability
 from repro.sim.cache.base import AnonKey, FileKey, MetaKey, PageEntry
 from repro.sim.clock import Clock
 from repro.sim.config import MachineConfig, PlatformSpec, linux22
@@ -66,17 +67,31 @@ class Kernel:
         cg_bytes: int = CG_BYTES_DEFAULT,
         inodes_per_cg: int = 1024,
         fs_class: type = FFS,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.config = config or MachineConfig()
         self.platform = platform
         self.clock = Clock()
         cfg = self.config
+        # Always-on observability stamped with this machine's simulated
+        # clock; per-syscall instruments are push-style, everything else
+        # (disk/daemon/scheduler stats) is pulled at collect() time.
+        # Pass a disabled instance to opt out (the overhead benchmark's
+        # baseline); stats sources are never registered on a disabled
+        # registry so the shared DISABLED instance stays empty.
+        self.obs = obs if obs is not None else Observability(self.clock)
 
         self.data_disk_list = [Disk(cfg.disk, disk_id=i) for i in range(cfg.data_disks)]
         self.swap_disk = Disk(cfg.disk, disk_id=cfg.data_disks)
+        if self.obs.enabled:
+            for disk in self.data_disk_list:
+                self.obs.metrics.register_stats(f"disk.{disk.disk_id}", disk.stats)
+            self.obs.metrics.register_stats("disk.swap", self.swap_disk.stats)
 
         swap_pages = self.swap_disk.capacity_blocks(cfg.page_size)
-        self.mm = MemoryManager(cfg, platform, swap_capacity_pages=swap_pages)
+        self.mm = MemoryManager(
+            cfg, platform, swap_capacity_pages=swap_pages, obs=self.obs
+        )
 
         blocks_per_cg = max(cg_bytes // cfg.page_size, 64)
         self.mounts = MountTable()
@@ -97,6 +112,8 @@ class Kernel:
 
         self._cpu_free_at = [0] * cfg.cpus
         self.scheduler = Scheduler()
+        if self.obs.enabled:
+            self.obs.metrics.register_stats("sched", self.scheduler.stats)
         self._next_pid = 1
         self._next_pipe_id = 1
         self._open_count: Dict[Tuple[int, int], int] = {}
@@ -197,6 +214,7 @@ class Kernel:
             outcome = handler(process, *syscall.args)
         except SimOSError as err:
             # Deliver the failure into the process after the base overhead.
+            self.obs.record_syscall_error(syscall.name)
             process.pending_exception = err
             process.retry_syscall = None
             self.scheduler.make_ready(process, start + self.config.syscall_overhead_ns)
@@ -206,6 +224,7 @@ class Kernel:
             self.scheduler.block(process)
             return
         value, duration = outcome
+        self.obs.record_syscall(syscall.name, duration)
         finish = start + duration
         process.pending_value = SyscallResult(value, finish - start, start, finish)
         process.retry_syscall = None
@@ -928,6 +947,10 @@ class Oracle:
 
     def daemon_stats(self):
         return self._kernel.mm.daemon_stats
+
+    def cache_stats(self):
+        """Policy-level hit/miss/eviction accounting (file/unified pool)."""
+        return self._kernel.mm.file_pool_stats()
 
     def swap_used_slots(self) -> int:
         return self._kernel.mm.swap.used_slots

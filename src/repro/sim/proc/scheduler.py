@@ -12,9 +12,25 @@ multi-process MAC experiment (Figure 7) meaningful.
 from __future__ import annotations
 
 import heapq
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.metrics import SnapshotStats
 from repro.sim.proc.process import Process, ProcessState
+
+
+@dataclass
+class SchedulerStats(SnapshotStats):
+    """Dispatch accounting: how often the CPU changed hands.
+
+    A *dispatch* is one scheduling decision; a *context switch* is a
+    dispatch that picked a different process than the previous one —
+    the quantity MAC's settle pause (and Figure 7's interleaving)
+    depends on.
+    """
+
+    dispatches: int = 0
+    context_switches: int = 0
 
 
 class Scheduler:
@@ -24,6 +40,8 @@ class Scheduler:
         self._heap: List[Tuple[int, int, int]] = []  # (ready_at, seq, pid)
         self._seq = 0
         self.processes: Dict[int, Process] = {}
+        self.stats = SchedulerStats()
+        self._last_pid: Optional[int] = None
 
     def add(self, process: Process) -> None:
         self.processes[process.pid] = process
@@ -49,6 +67,10 @@ class Scheduler:
                 and process.state is ProcessState.READY
                 and process.ready_at == ready_at
             ):
+                self.stats.dispatches += 1
+                if process.pid != self._last_pid:
+                    self.stats.context_switches += 1
+                    self._last_pid = process.pid
                 return process
         return None
 

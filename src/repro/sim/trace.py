@@ -12,6 +12,8 @@ elapsed times.  It does not expose kernel internals.
 
 from __future__ import annotations
 
+import json
+import os
 from collections import Counter, deque
 from dataclasses import dataclass
 from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Tuple
@@ -32,8 +34,20 @@ class TraceRecord:
         inner = ", ".join(repr(a) for a in self.args)
         return (
             f"[{self.start_ns / 1e6:12.3f}ms] {self.process_name}: "
-            f"{self.syscall}({inner}) = {self.elapsed_ns}ns"
+            f"{self.syscall}({inner}) = {self.elapsed_ns / 1e6:.3f}ms"
         )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A JSON-ready form matching the observability record shape."""
+        return {
+            "type": "trace",
+            "pid": self.pid,
+            "process": self.process_name,
+            "syscall": self.syscall,
+            "args": list(self.args),
+            "start_ns": self.start_ns,
+            "elapsed_ns": self.elapsed_ns,
+        }
 
 
 class SyscallTrace:
@@ -154,3 +168,18 @@ class SyscallTrace:
 
     def tail(self, count: int = 20) -> List[TraceRecord]:
         return list(self.records)[-count:]
+
+    def to_jsonl(self, path: os.PathLike) -> int:
+        """Write every record as one JSON object per line; returns count.
+
+        Non-JSON argument values (pipe objects, generators) degrade to
+        their ``str()`` — the trace is a debugging artifact, and a lossy
+        argument beats an unserialisable trace.
+        """
+        written = 0
+        with open(path, "w") as handle:
+            for record in self.records:
+                handle.write(json.dumps(record.as_dict(), default=str))
+                handle.write("\n")
+                written += 1
+        return written

@@ -11,10 +11,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.metrics import SnapshotStats
+
 
 @dataclass
-class PageDaemonStats:
-    """Counters for one memory pool's reclaim activity."""
+class PageDaemonStats(SnapshotStats):
+    """Counters for one memory pool's reclaim activity.
+
+    ``snapshot()``/``delta()``/``as_dict()`` come from
+    :class:`~repro.obs.metrics.SnapshotStats` — the same idiom
+    :class:`~repro.sim.disk.DiskStats` uses, so per-phase deltas are one
+    call on either object.
+    """
 
     activations: int = 0
     pages_reclaimed: int = 0
@@ -22,24 +30,3 @@ class PageDaemonStats:
     file_pages_written: int = 0
     anon_pages_swapped: int = 0
     meta_pages_dropped: int = 0
-
-    def snapshot(self) -> "PageDaemonStats":
-        return PageDaemonStats(
-            self.activations,
-            self.pages_reclaimed,
-            self.file_pages_dropped,
-            self.file_pages_written,
-            self.anon_pages_swapped,
-            self.meta_pages_dropped,
-        )
-
-    def delta(self, earlier: "PageDaemonStats") -> "PageDaemonStats":
-        """Activity since ``earlier`` (a snapshot taken before a phase)."""
-        return PageDaemonStats(
-            self.activations - earlier.activations,
-            self.pages_reclaimed - earlier.pages_reclaimed,
-            self.file_pages_dropped - earlier.file_pages_dropped,
-            self.file_pages_written - earlier.file_pages_written,
-            self.anon_pages_swapped - earlier.anon_pages_swapped,
-            self.meta_pages_dropped - earlier.meta_pages_dropped,
-        )

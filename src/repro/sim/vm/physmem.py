@@ -21,8 +21,17 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.obs import DISABLED, Observability
 from repro.sim.cache import make_policy
-from repro.sim.cache.base import AnonKey, CachePolicy, FileKey, MetaKey, PageEntry, PageKey
+from repro.sim.cache.base import (
+    AnonKey,
+    CachePolicy,
+    CacheStats,
+    FileKey,
+    MetaKey,
+    PageEntry,
+    PageKey,
+)
 from repro.sim.cache.lru import LRUPolicy
 from repro.sim.config import MachineConfig, PlatformSpec
 from repro.sim.errors import OutOfMemory
@@ -51,10 +60,15 @@ class MemoryManager:
     """Owns the page pools, swap space, and reclaim accounting."""
 
     def __init__(
-        self, config: MachineConfig, platform: PlatformSpec, swap_capacity_pages: int
+        self,
+        config: MachineConfig,
+        platform: PlatformSpec,
+        swap_capacity_pages: int,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.config = config
         self.platform = platform
+        self.obs = obs if obs is not None else DISABLED
         self.swap = SwapSpace(swap_capacity_pages)
         self.daemon_stats = PageDaemonStats()
         self._anon_resident: Dict[int, int] = {}
@@ -78,6 +92,25 @@ class MemoryManager:
             self._anon_capacity = total
             self._unified = True
 
+        # Pull-style sources: read only when metrics are collected.  In
+        # unified mode one pool serves both roles, so "cache.file"
+        # covers every page class.  Never registered on the shared
+        # DISABLED instance — its registry must stay empty.
+        if self.obs.enabled:
+            self.obs.metrics.register_stats("vm.daemon", self.daemon_stats)
+            self.obs.metrics.register_stats("cache.file", self._file_pool.stats)
+            if not self._unified:
+                self.obs.metrics.register_stats(
+                    "cache.anon", self._anon_pool.stats
+                )
+        # Fault-kind counters are on the page-touch hot path; cache the
+        # instrument references and branch on ``enabled`` directly.
+        self._fault_counters = {
+            FaultKind.RESIDENT: self.obs.metrics.counter("vm.fault.resident"),
+            FaultKind.ZERO_FILL: self.obs.metrics.counter("vm.fault.zero_fill"),
+            FaultKind.SWAP_IN: self.obs.metrics.counter("vm.fault.swap_in"),
+        }
+
     # ------------------------------------------------------------------
     # Capacity / occupancy
     # ------------------------------------------------------------------
@@ -97,6 +130,13 @@ class MemoryManager:
 
     def resident_anon_pages(self, pid: int) -> int:
         return self._anon_resident.get(pid, 0)
+
+    def file_pool_stats(self) -> CacheStats:
+        """Hit/miss/eviction accounting of the (unified or file) pool."""
+        return self._file_pool.stats
+
+    def anon_pool_stats(self) -> CacheStats:
+        return self._anon_pool.stats
 
     # ------------------------------------------------------------------
     # Reclaim (the page daemon)
@@ -118,22 +158,35 @@ class MemoryManager:
         stats = self.daemon_stats
         stats.activations += 1
         stats.pages_reclaimed += len(victims)
+        anon = file_written = file_dropped = meta = 0
         for entry in victims:
             key = entry.key
             if isinstance(key, AnonKey):
-                stats.anon_pages_swapped += 1
+                anon += 1
                 self._anon_resident[key.pid] = self._anon_resident.get(key.pid, 1) - 1
                 self.swap.swap_out(key)
             elif isinstance(key, FileKey):
                 if entry.dirty:
-                    stats.file_pages_written += 1
+                    file_written += 1
                     self._dirty_file_pages -= 1
                 else:
-                    stats.file_pages_dropped += 1
+                    file_dropped += 1
             elif isinstance(key, MetaKey):
                 if entry.dirty:
                     self._dirty_file_pages -= 1
-                stats.meta_pages_dropped += 1
+                meta += 1
+        stats.anon_pages_swapped += anon
+        stats.file_pages_written += file_written
+        stats.file_pages_dropped += file_dropped
+        stats.meta_pages_dropped += meta
+        self.obs.event(
+            "kernel.reclaim",
+            pages=len(victims),
+            anon=anon,
+            file_written=file_written,
+            file_dropped=file_dropped,
+            meta=meta,
+        )
         return victims
 
     # ------------------------------------------------------------------
@@ -212,8 +265,11 @@ class MemoryManager:
         ``touched_before`` comes from the address space: an untouched page
         zero-fills, a touched-but-nonresident page swaps in.
         """
+        enabled = self.obs.enabled
         if self._anon_pool.contains(key):
             self._anon_pool.touch(key, dirty=True)
+            if enabled:
+                self._fault_counters[FaultKind.RESIDENT].value += 1
             return FaultResult(FaultKind.RESIDENT)
 
         victims = self._reclaim(self._anon_pool, self._anon_capacity, 1)
@@ -222,7 +278,11 @@ class MemoryManager:
 
         if touched_before and self.swap.slot_of(key) is not None:
             slot = self.swap.swap_in(key)
+            if enabled:
+                self._fault_counters[FaultKind.SWAP_IN].value += 1
             return FaultResult(FaultKind.SWAP_IN, victims, swapin_slot=slot)
+        if enabled:
+            self._fault_counters[FaultKind.ZERO_FILL].value += 1
         return FaultResult(FaultKind.ZERO_FILL, victims)
 
     def anon_resident(self, key: AnonKey) -> bool:
