@@ -1,0 +1,380 @@
+"""Core simulator speed: batched vs sequential probe paths.
+
+Unlike the figure benchmarks (which reproduce the paper), this suite
+times the *simulator itself* — the quantity the batched-syscall fast
+path and the scheduler single-runner slot exist to improve:
+
+* **probe throughput** — raw ``pread``/``touch``/``stat`` probes per
+  host second, sequential one-syscall-per-probe vs one vectored batch
+  call (``pread_batch``/``touch_batch``/``stat_batch``);
+* **kernel step rate** — scheduler dispatches per host second for a
+  minimal syscall loop (the single-runner fast-slot path);
+* **end-to-end Fig-2 scan** — one gray-box scan point wall-clock, with
+  FCCD's ``batch_probes`` on vs off, asserting the *simulated* result
+  is bit-identical either way.
+
+Run standalone to (re)generate the tracked baseline::
+
+    PYTHONPATH=src python benchmarks/bench_core_speed.py            # full
+    PYTHONPATH=src python benchmarks/bench_core_speed.py --smoke    # quick
+    PYTHONPATH=src python benchmarks/bench_core_speed.py --smoke \
+        --check BENCH_core.json       # CI regression gate
+
+Results land in ``BENCH_core.json`` at the repo root (override with
+``--output``).  ``--check`` compares the *speedup ratios* of the fresh
+run against a baseline file — ratios, not absolute throughput, so the
+gate is meaningful across machines — and exits non-zero when the
+batched path's advantage has regressed by more than 20%.
+
+Under pytest this module contributes one smoke test asserting the
+headline target: ≥3× pread-probe throughput on the batched path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+from repro.icl.fccd import FCCD
+from repro.sim import Kernel, MachineConfig
+from repro.sim import syscalls as sc
+from repro.workloads.files import make_file
+
+KIB = 1024
+MIB = 1024 * 1024
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_core.json"
+
+# Ratio gate for --check: fail when the fresh run's speedup drops below
+# this fraction of the baseline's ("regresses >20%").
+REGRESSION_FLOOR = 0.8
+
+# Gated measurements.  Only the probe-throughput speedups whose ratio is
+# stable across problem sizes are gated (CI runs --smoke against a
+# full-run baseline); stat (resolution-dominated, ratio ≈ 1) and the
+# fig2 scan (ratio grows with scan size) are informational, except for
+# fig2's simulated-time equality flag, which is always enforced.
+GATED_KEYS = (
+    "pread_probe_throughput",
+    "touch_probe_throughput",
+)
+
+
+def _config() -> MachineConfig:
+    return MachineConfig(
+        page_size=4 * KIB,
+        memory_bytes=64 * MIB,
+        kernel_reserved_bytes=16 * MIB,
+        data_disks=1,
+    )
+
+
+def _timed(run: Callable[[], int]) -> Dict[str, float]:
+    """Run once; returns {'per_s': ops/sec, 'seconds': wall} from its count."""
+    t0 = time.perf_counter()
+    ops = run()
+    elapsed = time.perf_counter() - t0
+    return {"per_s": ops / elapsed if elapsed > 0 else 0.0, "seconds": elapsed}
+
+
+def _speedup_entry(sequential: Dict[str, float], batched: Dict[str, float]) -> Dict:
+    return {
+        "sequential_per_s": round(sequential["per_s"], 1),
+        "batched_per_s": round(batched["per_s"], 1),
+        "speedup": round(batched["per_s"] / max(sequential["per_s"], 1e-9), 2),
+    }
+
+
+# ----------------------------------------------------------------------
+# Probe throughput: raw syscall loops
+# ----------------------------------------------------------------------
+def bench_pread_probes(n_probes: int, batch_size: int) -> Dict:
+    """1-byte pread probes over a cached file, both paths.
+
+    Setup (kernel construction, file creation) happens outside the
+    timed region; only the probe loop is measured.
+    """
+    offsets = [(i * 4096) % (16 * MIB) for i in range(n_probes)]
+
+    def setup() -> Kernel:
+        kernel = Kernel(_config())
+        kernel.run_process(make_file("/mnt0/probe.dat", 16 * MIB), "setup")
+        return kernel
+
+    def sequential(kernel: Kernel) -> int:
+        def app():
+            fd = (yield sc.open("/mnt0/probe.dat")).value
+            for offset in offsets:
+                yield sc.pread(fd, offset, 1)
+            yield sc.close(fd)
+        kernel.run_process(app(), "probe")
+        return n_probes
+
+    def batched(kernel: Kernel) -> int:
+        def app():
+            fd = (yield sc.open("/mnt0/probe.dat")).value
+            for start in range(0, n_probes, batch_size):
+                chunk = offsets[start : start + batch_size]
+                yield sc.pread_batch(fd, [(o, 1) for o in chunk])
+            yield sc.close(fd)
+        kernel.run_process(app(), "probe")
+        return n_probes
+
+    seq_kernel, batch_kernel = setup(), setup()
+    return _speedup_entry(
+        _timed(lambda: sequential(seq_kernel)),
+        _timed(lambda: batched(batch_kernel)),
+    )
+
+
+def bench_touch_probes(n_pages: int, rounds: int, batch_size: int) -> Dict:
+    """Resident page-touch probes (MAC's verify-loop shape), both paths.
+
+    The region must fit in memory — the point is re-touching *resident*
+    pages, not swapping.  A warm-up pass faults every page in outside
+    the timed region; the measurement is ``rounds`` re-touch sweeps.
+    """
+    assert n_pages * 4 * KIB < _config().available_bytes, "region must stay resident"
+
+    def run(batch: bool) -> Dict[str, float]:
+        # Regions are per-process, so the warm-up faulting every page
+        # in lives inside the same process; host time is captured
+        # around just the re-touch loops.
+        kernel = Kernel(_config())
+
+        def app():
+            region = (yield sc.vm_alloc(n_pages * 4 * KIB, "bench")).value
+            yield sc.touch_range(region, 0, n_pages)  # warm: all resident
+            t0 = time.perf_counter()
+            for _ in range(rounds):
+                if batch:
+                    for start in range(0, n_pages, batch_size):
+                        count = min(batch_size, n_pages - start)
+                        yield sc.touch_batch(region, start, count)
+                else:
+                    for index in range(n_pages):
+                        yield sc.touch(region, index)
+            elapsed = time.perf_counter() - t0
+            yield sc.vm_free(region)
+            return elapsed
+        seconds = kernel.run_process(app(), "touch")
+        return {"per_s": n_pages * rounds / seconds, "seconds": seconds}
+
+    return _speedup_entry(run(batch=False), run(batch=True))
+
+
+def bench_stat_probes(n_files: int, rounds: int, batch_size: int) -> Dict:
+    """stat sweeps over a populated directory, both paths."""
+    def setup() -> Kernel:
+        kernel = Kernel(_config())
+
+        def populate():
+            yield sc.mkdir("/mnt0/sweep")
+            for i in range(n_files):
+                fd = (yield sc.create(f"/mnt0/sweep/f{i:04d}")).value
+                yield sc.write(fd, 512)
+                yield sc.close(fd)
+        kernel.run_process(populate(), "setup")
+        return kernel
+
+    paths = [f"/mnt0/sweep/f{i:04d}" for i in range(n_files)]
+
+    def sequential(kernel: Kernel) -> int:
+        def app():
+            for _ in range(rounds):
+                for path in paths:
+                    yield sc.stat(path)
+        kernel.run_process(app(), "stat")
+        return n_files * rounds
+
+    def batched(kernel: Kernel) -> int:
+        def app():
+            for _ in range(rounds):
+                for start in range(0, n_files, batch_size):
+                    yield sc.stat_batch(paths[start : start + batch_size])
+        kernel.run_process(app(), "stat")
+        return n_files * rounds
+
+    seq_kernel, batch_kernel = setup(), setup()
+    return _speedup_entry(
+        _timed(lambda: sequential(seq_kernel)),
+        _timed(lambda: batched(batch_kernel)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Kernel step rate: minimal syscalls through the dispatch loop
+# ----------------------------------------------------------------------
+def bench_kernel_steps(n_steps: int) -> Dict:
+    kernel = Kernel(_config())
+
+    def app():
+        for _ in range(n_steps):
+            yield sc.gettime()
+
+    def run() -> int:
+        kernel.run_process(app(), "spin")
+        return n_steps
+
+    timing = _timed(run)
+    stats = kernel.scheduler.stats
+    return {
+        "steps_per_s": round(timing["per_s"], 1),
+        "fast_dispatch_fraction": round(
+            stats.fast_dispatches / max(stats.dispatches, 1), 4
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# End-to-end: one Fig-2 gray-scan point, batched vs sequential FCCD
+# ----------------------------------------------------------------------
+def bench_fig2_scan(size_mb: int, prediction_unit: int) -> Dict:
+    import random
+
+    from repro.apps.scan import gray_scan
+
+    def one(batch: bool) -> Dict[str, float]:
+        kernel = Kernel(_config())
+        kernel.run_process(make_file("/mnt0/fig2.dat", size_mb * MIB), "setup")
+        fccd = FCCD(
+            rng=random.Random(7),
+            access_unit_bytes=4 * MIB,
+            prediction_unit_bytes=prediction_unit,
+            batch_probes=batch,
+        )
+        reports: List = []
+
+        def run() -> int:
+            reports.append(kernel.run_process(gray_scan("/mnt0/fig2.dat", fccd), "scan"))
+            return 1
+        timing = _timed(run)
+        timing["simulated_ns"] = reports[0].elapsed_ns
+        return timing
+
+    sequential = one(False)
+    batched = one(True)
+    return {
+        "sequential_s": round(sequential["seconds"], 4),
+        "batched_s": round(batched["seconds"], 4),
+        "speedup": round(
+            sequential["seconds"] / max(batched["seconds"], 1e-9), 2
+        ),
+        # The whole point: batching must not move the simulated result.
+        "simulated_ns_equal": sequential["simulated_ns"] == batched["simulated_ns"],
+        "simulated_ns": batched["simulated_ns"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Suite driver
+# ----------------------------------------------------------------------
+def run_suite(smoke: bool = False) -> Dict:
+    if smoke:
+        params = dict(
+            pread=dict(n_probes=4_000, batch_size=256),
+            touch=dict(n_pages=4_000, rounds=1, batch_size=256),
+            stat=dict(n_files=200, rounds=4, batch_size=100),
+            steps=dict(n_steps=20_000),
+            fig2=dict(size_mb=16, prediction_unit=64 * KIB),
+        )
+    else:
+        params = dict(
+            pread=dict(n_probes=40_000, batch_size=256),
+            touch=dict(n_pages=8_000, rounds=5, batch_size=256),
+            stat=dict(n_files=500, rounds=16, batch_size=250),
+            steps=dict(n_steps=200_000),
+            fig2=dict(size_mb=48, prediction_unit=16 * KIB),
+        )
+    return {
+        "schema": 1,
+        "smoke": smoke,
+        "python": platform.python_version(),
+        "results": {
+            "pread_probe_throughput": bench_pread_probes(**params["pread"]),
+            "touch_probe_throughput": bench_touch_probes(**params["touch"]),
+            "stat_probe_throughput": bench_stat_probes(**params["stat"]),
+            "kernel_step_rate": bench_kernel_steps(**params["steps"]),
+            "fig2_scan": bench_fig2_scan(**params["fig2"]),
+        },
+    }
+
+
+def check_regression(current: Dict, baseline: Dict) -> List[str]:
+    """Speedup-ratio gate; returns a list of failure messages."""
+    failures = []
+    for key in GATED_KEYS:
+        base = baseline.get("results", {}).get(key)
+        cur = current.get("results", {}).get(key)
+        if not base or not cur:
+            continue
+        floor = base["speedup"] * REGRESSION_FLOOR
+        if cur["speedup"] < floor:
+            failures.append(
+                f"{key}: speedup {cur['speedup']:.2f}x fell below "
+                f"{floor:.2f}x (80% of baseline {base['speedup']:.2f}x)"
+            )
+    fig2 = current.get("results", {}).get("fig2_scan", {})
+    if fig2 and not fig2.get("simulated_ns_equal", True):
+        failures.append("fig2_scan: batched simulated time diverged from sequential")
+    return failures
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small, fast sizes")
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help=f"result file (default {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--check", type=Path, default=None, metavar="BASELINE",
+        help="compare speedups against a baseline JSON; exit 1 on >20%% regression",
+    )
+    args = parser.parse_args(argv)
+
+    current = run_suite(smoke=args.smoke)
+    for key, entry in current["results"].items():
+        print(f"{key}: {json.dumps(entry)}")
+
+    if args.check is not None:
+        baseline = json.loads(args.check.read_text())
+        failures = check_regression(current, baseline)
+        # The gate run must not clobber the committed baseline.
+        if args.output != args.check:
+            args.output.write_text(json.dumps(current, indent=2) + "\n")
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print("regression check passed")
+        return 0
+
+    args.output.write_text(json.dumps(current, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest smoke test: the headline acceptance target
+# ----------------------------------------------------------------------
+def test_batched_probe_throughput_target():
+    """Batched pread probes must run ≥3× faster than sequential."""
+    entry = bench_pread_probes(n_probes=4_000, batch_size=256)
+    assert entry["speedup"] >= 3.0, entry
+
+
+def test_fig2_scan_simulated_time_identical():
+    """Batching is wall-clock only: the simulated scan time must not move."""
+    entry = bench_fig2_scan(size_mb=16, prediction_unit=64 * KIB)
+    assert entry["simulated_ns_equal"], entry
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,15 +53,31 @@ class FLDC(ICL):
         feedback="None",
     )
 
+    def __init__(
+        self, repository=None, rng=None, obs=None, batch_probes: bool = True
+    ) -> None:
+        """``batch_probes`` (default on) sweeps paths with one vectored
+        ``stat_batch`` per call instead of per-path ``stat`` calls; path
+        resolution walks identical cache state in identical order, so
+        the observed i-numbers and stat latencies are unchanged."""
+        super().__init__(repository, rng, obs)
+        self.batch_probes = batch_probes
+
     # ------------------------------------------------------------------
     # Detection
     # ------------------------------------------------------------------
     def stat_files(self, paths: Sequence[str]) -> Generator:
         """Probe each file with stat(); returns {path: StatResult}."""
         stats = {}
-        with self.obs.span("fldc.stat_batch", files=len(paths)):
-            for path in paths:
-                stats[path] = (yield sc.stat(path)).value
+        if self.batch_probes:
+            with self.obs.span_batch("fldc.stat_batch", len(paths)):
+                results = (yield sc.stat_batch(list(paths))).value
+            for path, probe in zip(paths, results):
+                stats[path] = probe.stat
+        else:
+            with self.obs.span("fldc.stat_batch", files=len(paths)):
+                for path in paths:
+                    stats[path] = (yield sc.stat(path)).value
         self.obs.count("icl.fldc.stats", len(paths))
         return stats
 
@@ -126,8 +142,16 @@ class FLDC(ICL):
         with self.obs.span("fldc.refresh", directory=dir_path) as span:
             names = (yield sc.readdir(dir_path)).value
             stats = {}
+            if self.batch_probes and names:
+                results = (
+                    yield sc.stat_batch([f"{dir_path}/{n}" for n in names])
+                ).value
+                for name, probe in zip(names, results):
+                    stats[name] = probe.stat
+            else:
+                for name in names:
+                    stats[name] = (yield sc.stat(f"{dir_path}/{name}")).value
             for name in names:
-                stats[name] = (yield sc.stat(f"{dir_path}/{name}")).value
                 if stats[name].kind.name != "FILE":
                     raise ValueError(
                         f"refresh_directory: {dir_path}/{name} is not a regular file"

@@ -82,8 +82,14 @@ class MAC(ICL):
         settle_ns: int = 20 * MILLIS,
         increment_policy: str = "paper",
         obs=None,
+        batch_probes: bool = True,
     ) -> None:
         super().__init__(repository, rng, obs)
+        # Batched probing (default on) issues each probe loop as one
+        # vectored ``touch_batch`` carrying the same windowed slow
+        # detector kernel-side, so timings, pages touched, and abort
+        # points match the sequential loops exactly.
+        self.batch_probes = batch_probes
         if page_size <= 0:
             raise ValueError("page_size must be positive")
         if slow_count < 1 or slow_window_touches < slow_count:
@@ -152,6 +158,43 @@ class MAC(ICL):
     # ------------------------------------------------------------------
     def _probe_chunk(self, region_id: int, npages: int, threshold: int) -> Generator:
         """Two-loop probe of a fresh chunk; True if it fits in memory."""
+        if self.batch_probes:
+            loop1 = (
+                yield sc.touch_batch(
+                    region_id,
+                    0,
+                    npages,
+                    threshold_ns=threshold,
+                    slow_count=self.slow_count,
+                    slow_window=self.slow_window_touches,
+                )
+            ).value
+            self.stats.probe_touches += loop1.pages_touched
+            if loop1.stopped:
+                # The page daemon woke up: skip straight to verification.
+                self.stats.loop1_aborts += 1
+                self.obs.count("icl.mac.loop1_aborts")
+            reached = loop1.pages_touched
+            # A trip on the final page still leaves reached == npages —
+            # the sequential loop counts that chunk as fitting (loop 2
+            # is what catches it), so length alone decides here too.
+            fits = reached == npages
+            if fits and self.settle_ns:
+                yield sc.sleep(self.settle_ns)
+            if fits:
+                loop2 = (
+                    yield sc.touch_batch(
+                        region_id,
+                        0,
+                        reached,
+                        threshold_ns=threshold,
+                        slow_count=1,
+                        slow_window=1,
+                    )
+                ).value
+                self.stats.probe_touches += loop2.pages_touched
+                fits = not loop2.stopped
+            return fits
         slow_marks: List[int] = []
         reached = npages
         for index in range(npages):
@@ -190,6 +233,23 @@ class MAC(ICL):
         cost it calls out as half of gb-fastsort's overhead (§4.3.3).
         A larger stride samples instead (the cheap-probe ablation).
         """
+        if self.batch_probes:
+            for region_id, npages in regions:
+                result = (
+                    yield sc.touch_batch(
+                        region_id,
+                        0,
+                        npages,
+                        stride=self.reverify_stride,
+                        threshold_ns=threshold,
+                        slow_count=1,
+                        slow_window=1,
+                    )
+                ).value
+                self.stats.probe_touches += result.pages_touched
+                if result.stopped:
+                    return False
+            return True
         for region_id, npages in regions:
             for index in range(0, npages, self.reverify_stride):
                 result = yield sc.touch(region_id, index)

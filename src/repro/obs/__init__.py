@@ -114,6 +114,18 @@ class Observability:
             return NULL_SPAN
         return self.events.span(name, **attrs)
 
+    def span_batch(self, name: str, probes: int, **attrs: Any):
+        """One span standing in for ``probes`` individual probes.
+
+        The batched ICL paths emit one span per vectored syscall instead
+        of per probe; the ``probes`` attribute keeps the probe count the
+        observe driver reports, so trace volume scales with batches
+        while the analysis still sees how many probes each batch held.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        return self.events.span(name, probes=probes, **attrs)
+
     # -- export ----------------------------------------------------------
     def collect(self) -> List[Dict[str, Any]]:
         """Every metric as plain-dict samples (events stay in the ring)."""

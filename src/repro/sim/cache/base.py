@@ -113,6 +113,20 @@ class CachePolicy(ABC):
         """Iterate over cached page keys (oracle/testing use)."""
 
     # Convenience shared by all policies -------------------------------
+    def touch_cached(self, key: PageKey, dirty: bool = False) -> bool:
+        """Touch the page only if present; True on a hit.
+
+        Behaviourally ``contains(key) and touch(key, dirty)`` fused into
+        one lookup — the batched-syscall fast path's primitive.  The
+        default is the two-call form; policies override it to save the
+        second lookup, and every override must leave recency state and
+        :attr:`stats` exactly as ``touch`` on a present page would.
+        """
+        if not self.contains(key):
+            return False
+        self.touch(key, dirty)
+        return True
+
     def remove_many(self, keys: Iterable[PageKey]) -> int:
         removed = 0
         for key in keys:

@@ -59,6 +59,15 @@ class ClockPolicy(CachePolicy):
             frame.referenced = True
             frame.dirty = frame.dirty or dirty
 
+    def touch_cached(self, key: PageKey, dirty: bool = False) -> bool:
+        frame = self._ring_of(key).get(key)
+        if frame is None:
+            return False
+        self.stats.hits += 1
+        frame.referenced = True
+        frame.dirty = frame.dirty or dirty
+        return True
+
     def contains(self, key: PageKey) -> bool:
         return key in self._ring_of(key)
 

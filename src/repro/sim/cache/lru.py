@@ -32,6 +32,15 @@ class LRUPolicy(CachePolicy):
             self.stats.hits += 1
         self._pages[key] = previous or dirty
 
+    def touch_cached(self, key: PageKey, dirty: bool = False) -> bool:
+        pages = self._pages
+        previous = pages.pop(key, _ABSENT)
+        if previous is _ABSENT:
+            return False
+        self.stats.hits += 1
+        pages[key] = previous or dirty
+        return True
+
     def contains(self, key: PageKey) -> bool:
         return key in self._pages
 

@@ -38,7 +38,14 @@ from repro.sim.fs.inode import FileKind, Inode, StatResult
 from repro.sim.fs.vfs import MountTable, PathName
 from repro.sim.proc.process import OpenFile, PipeBuffer, Process, ProcessState
 from repro.sim.proc.scheduler import Scheduler
-from repro.sim.syscalls import ReadResult, Syscall, SyscallResult
+from repro.sim.syscalls import (
+    ProbeRead,
+    ProbeStat,
+    ReadResult,
+    Syscall,
+    SyscallResult,
+    TouchBatchResult,
+)
 from repro.sim.vm.physmem import FaultKind, MemoryManager
 
 
@@ -158,18 +165,26 @@ class Kernel:
         return process
 
     def run(self, max_steps: Optional[int] = None) -> None:
-        """Run until every process finishes (or ``max_steps`` syscalls)."""
+        """Run until every process finishes (or ``max_steps`` syscalls).
+
+        The common single-process case stays on the scheduler's
+        fast slot (no heap traffic); bound methods are hoisted out of
+        the loop because this is the simulator's hottest few lines.
+        """
+        next_ready = self.scheduler.next_ready
+        advance_to = self.clock.advance_to
+        step = self._step
         steps = 0
         while True:
-            process = self.scheduler.next_ready()
+            process = next_ready()
             if process is None:
                 blocked = self.scheduler.blocked()
                 if blocked:
                     names = ", ".join(p.name for p in blocked)
                     raise RuntimeError(f"deadlock: blocked processes remain: {names}")
                 return
-            self.clock.advance_to(process.ready_at)
-            self._step(process)
+            advance_to(process.ready_at)
+            step(process)
             steps += 1
             if max_steps is not None and steps >= max_steps:
                 raise RuntimeError(f"exceeded max_steps={max_steps}")
@@ -232,7 +247,7 @@ class Kernel:
 
     def _exit_process(self, process: Process, result: Any) -> None:
         process.result = result
-        process.state = ProcessState.DONE
+        self.scheduler.finish(process)
         for fd in list(process.fd_table):
             self._release_fd(process, process.fd_table.pop(fd))
         keys = [AnonKey(process.pid, page) for page in process.address_space.touched]
@@ -393,12 +408,24 @@ class Kernel:
                 file_writes.setdefault(key.fs_id, []).append(inode.blocks[key.index])
             elif isinstance(key, MetaKey) and entry.dirty:
                 file_writes.setdefault(key.fs_id, []).append(key.block)
-        for start, length in _runs(sorted(swap_slots)):
-            _s, t = self.swap_disk.access(start, length, t, self.config.page_size, write=True)
+        t = self._write_block_runs(self.swap_disk, swap_slots, t)
         for fs_id, blocks in file_writes.items():
-            disk = self._disk_of_fs[fs_id]
-            for start, length in _runs(sorted(blocks)):
-                _s, t = disk.access(start, length, t, self.config.page_size, write=True)
+            t = self._write_block_runs(self._disk_of_fs[fs_id], blocks, t)
+        return t
+
+    def _write_block_runs(self, disk: Disk, blocks: List[int], t: int) -> int:
+        """Write ``blocks`` back as clustered runs; returns the new time.
+
+        Sorts the list in place exactly once per flush (the old code
+        built a fresh ``sorted()`` copy at every call site, which showed
+        up in the writeback/swap profiles).
+        """
+        if not blocks:
+            return t
+        blocks.sort()
+        page = self.config.page_size
+        for start, length in _runs(blocks):
+            _s, t = disk.access(start, length, t, page, write=True)
         return t
 
     def _throttle_dirty(self, t: int) -> int:
@@ -429,9 +456,7 @@ class Kernel:
                 writes.setdefault(key.fs_id, []).append(key.block)
             self.mm.writeback_complete(key)
         for fs_id, blocks in writes.items():
-            disk = self._disk_of_fs[fs_id]
-            for start, length in _runs(sorted(blocks)):
-                _s, t = disk.access(start, length, t, self.config.page_size, write=True)
+            t = self._write_block_runs(self._disk_of_fs[fs_id], blocks, t)
         return t
 
     def _drop_file_cache(self, fs: FFS, inode: Inode) -> None:
@@ -525,25 +550,129 @@ class Kernel:
         return self._do_read(process, entry, offset, nbytes)
 
     def _do_read(self, process: Process, entry: OpenFile, offset: int, nbytes: int):
+        t0 = self.clock.now
+        value, finish = self._pread_at(entry, offset, nbytes, t0)
+        return value, finish - t0
+
+    def _pread_at(
+        self, entry: OpenFile, offset: int, nbytes: int, start: int
+    ) -> Tuple[ReadResult, int]:
+        """One positional read beginning at simulated time ``start``.
+
+        Returns (ReadResult, finish_time).  Shared by the sequential
+        read path (where ``start`` is the clock) and ``pread_batch``
+        (where ``start`` is the cumulative batch time), so both charge
+        bit-identical simulated time per probe.
+        """
         if offset < 0 or nbytes < 0:
             raise InvalidArgument("negative offset or length")
-        t0 = self.clock.now
-        t = t0 + self.config.syscall_overhead_ns
+        t = start + self.config.syscall_overhead_ns
         fs, disk, inode = self._file_of(entry)
         effective = min(nbytes, max(inode.size - offset, 0))
         if effective == 0:
-            return ReadResult(0), t - t0
+            return ReadResult(0), t
         page = self.config.page_size
         first = offset // page
         last = (offset + effective - 1) // page
         t, _hits = self._read_file_pages(fs, disk, inode, range(first, last + 1), t)
         t += self.config.page_copy_ns(effective)
-        inode.stamp(self.clock.now, access=True)
+        inode.stamp(start, access=True)
         data = None
         stored = self.contents.get((fs.fs_id, inode.ino))
         if stored is not None:
             data = bytes(stored[offset : offset + effective])
-        return ReadResult(effective, data), t - t0
+        return ReadResult(effective, data), t
+
+    def _sys_pread_batch(self, process: Process, fd: int, probes):
+        """Vectored pread: the whole probe list in one dispatch.
+
+        Each probe is charged exactly the simulated time an individual
+        ``pread`` would have paid (including per-call overhead), walking
+        the same cache and disk state in the same order, so the timing
+        channel the ICLs read is bit-for-bit identical to the sequential
+        path — only the host-side dispatch cost is amortized.
+        """
+        entry = process.lookup_fd(fd)
+        if entry.kind != "file":
+            raise BadFileDescriptor(f"fd {fd} does not support pread")
+        t0 = self.clock.now
+        t = t0
+        results: List[ProbeRead] = []
+        append = results.append
+        # No other process can run mid-batch, so the file identity, its
+        # size, and its stored contents are loop invariants; per-probe
+        # constants (overhead, copy cost per length) are hoisted too.
+        # The fast branch below covers the ICLs' bread and butter — a
+        # single-page probe hitting the cache — and reproduces the exact
+        # effects of ``_pread_at`` for that case: one clean policy touch
+        # and ``overhead + page_copy`` of simulated time.  Everything
+        # else (miss, page-spanning, short or invalid reads) falls back
+        # to ``_pread_at`` itself.
+        fs, _disk, inode = self._file_of(entry)
+        fs_id = fs.fs_id
+        ino = inode.ino
+        size = inode.size
+        stored = self.contents.get((fs_id, ino))
+        cfg = self.config
+        page = cfg.page_size
+        overhead = cfg.syscall_overhead_ns
+        touch_cached = self.mm.touch_file_cached
+        copy_ns: Dict[int, int] = {}
+        # ``_pread_at`` stamps the inode atime per non-empty read with
+        # that probe's start time; only the last stamp survives, so the
+        # fast path defers it.  A fallback probe stamps internally
+        # (superseding anything pending), hence the reset.
+        pending_stamp = None
+        for offset, nbytes in probes:
+            if 0 <= offset < size and nbytes > 0:
+                end = offset + nbytes
+                effective = nbytes if end <= size else size - offset
+                first = offset // page
+                if (
+                    first == (offset + effective - 1) // page
+                    and touch_cached(FileKey(fs_id, ino, first))
+                ):
+                    copy = copy_ns.get(effective)
+                    if copy is None:
+                        copy = cfg.page_copy_ns(effective)
+                        copy_ns[effective] = copy
+                    elapsed = overhead + copy
+                    data = (
+                        bytes(stored[offset : offset + effective])
+                        if stored is not None
+                        else None
+                    )
+                    append(ProbeRead(effective, elapsed, data))
+                    pending_stamp = t
+                    t += elapsed
+                    continue
+            value, finish = self._pread_at(entry, offset, nbytes, t)
+            append(ProbeRead(value.nbytes, finish - t, value.data))
+            if value.nbytes > 0:
+                pending_stamp = None
+            t = finish
+        if pending_stamp is not None:
+            inode.stamp(pending_stamp, access=True)
+        return results, t - t0
+
+    def _sys_stat_batch(self, process: Process, paths):
+        """Vectored stat: resolve every path in one dispatch.
+
+        Resolution warms the metadata cache cumulatively, exactly as a
+        sequence of ``stat`` calls would, and each entry carries that
+        call's simulated elapsed time.  A missing path fails the whole
+        batch (the completed walks' cache effects remain, as with any
+        partially-failed vectored call).
+        """
+        t0 = self.clock.now
+        t = t0
+        results: List[ProbeStat] = []
+        for path in paths:
+            start = t
+            t += self.config.syscall_overhead_ns
+            fs, disk, inode, t = self._resolve(process, path, t)
+            results.append(ProbeStat(StatResult.from_inode(inode), t - start))
+        return results, t - t0
 
     def _sys_write(self, process: Process, fd: int, data):
         entry = process.lookup_fd(fd)
@@ -605,9 +734,9 @@ class Kernel:
             if self.mm.file_page_dirty(key):
                 dirty_blocks.append(inode.blocks[index])
                 self.mm.mark_file_clean(key)
-        for start, length in _runs(sorted(dirty_blocks)):
-            _s, t = disk.access(start, length, t, self.config.page_size, write=True)
-        return len(dirty_blocks), t - t0
+        count = len(dirty_blocks)
+        t = self._write_block_runs(disk, dirty_blocks, t)
+        return count, t - t0
 
     def _sys_stat(self, process: Process, path: str):
         t0 = self.clock.now
@@ -763,6 +892,70 @@ class Kernel:
             per_page.append(t - before)
         return per_page, t - t0
 
+    def _sys_touch_batch(
+        self,
+        process: Process,
+        region_id: int,
+        start_page: int,
+        npages: int,
+        stride: int = 1,
+        threshold_ns: Optional[int] = None,
+        slow_count: int = 1,
+        slow_window: int = 1,
+    ):
+        """Vectored page touches with MAC's windowed early-stop predicate.
+
+        Without ``threshold_ns`` this is ``touch_range`` with a stride.
+        With it, touching stops right after the page whose slow
+        observation is the ``slow_count``-th within ``slow_window`` page
+        indexes — so an aborted batch leaves the memory pool in exactly
+        the state the equivalent sequential touch loop (which aborts at
+        the same page) would have left it.
+        """
+        if npages <= 0:
+            raise InvalidArgument("touch_batch needs a positive page count")
+        if stride <= 0:
+            raise InvalidArgument("touch_batch needs a positive stride")
+        if slow_count < 1 or slow_window < 1:
+            raise InvalidArgument("need slow_count >= 1 and slow_window >= 1")
+        t0 = self.clock.now
+        t = t0
+        times: List[int] = []
+        append = times.append
+        slow_marks: List[int] = []
+        stopped = False
+        # Fast path for the resident case (MAC's verify loops re-touch
+        # pages that are overwhelmingly still resident): skip the
+        # per-page region lookup/bounds check — validated once for the
+        # whole strided range here — and the FaultResult allocation.
+        # Any fault that needs real work falls back to ``_touch_one``.
+        space = process.address_space
+        region = space.region(region_id)
+        last_index = start_page + ((npages - 1) // stride) * stride
+        in_bounds = 0 <= start_page and last_index < region.npages
+        base_page = region.base_page
+        touched = space.touched
+        resident_touch = self.mm.anon_fault_resident
+        mem_touch_ns = self.config.mem_touch_ns
+        pid = process.pid
+        for index in range(start_page, start_page + npages, stride):
+            before = t
+            page = base_page + index
+            if in_bounds and page in touched and resident_touch(AnonKey(pid, page)):
+                t += mem_touch_ns
+                elapsed = mem_touch_ns
+            else:
+                t = self._touch_one(process, region_id, index, t)
+                elapsed = t - before
+            append(elapsed)
+            if threshold_ns is not None and elapsed > threshold_ns:
+                slow_marks.append(index)
+                recent = sum(1 for m in slow_marks if index - m < slow_window)
+                if recent >= slow_count:
+                    stopped = True
+                    break
+        return TouchBatchResult(tuple(times), stopped), t - t0
+
     # ------------------------------------------------------------------
     # Time and CPU
     # ------------------------------------------------------------------
@@ -796,7 +989,7 @@ class Kernel:
         return child.pid, self.config.syscall_overhead_ns
 
     def _sys_waitpid(self, process: Process, pid: int):
-        target = self.scheduler.processes.get(pid)
+        target = self.scheduler.lookup(pid)
         if target is None:
             raise InvalidArgument(f"no such process {pid}")
         if target.done:

@@ -21,7 +21,7 @@ Sub-routines compose with ``yield from`` and can return values via
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional, Tuple, Union
+from typing import Any, Optional, Sequence, Tuple, Union
 
 
 @dataclass(frozen=True)
@@ -111,6 +111,32 @@ def fstat(fd: int) -> Syscall:
     return Syscall("fstat", (fd,))
 
 
+def pread_batch(fd: int, probes: Sequence[Tuple[int, int]]) -> Syscall:
+    """Vectored pread: ``[(offset, nbytes), ...]`` in one kernel entry.
+
+    The probes execute back-to-back inside a single scheduler dispatch,
+    each charged exactly the simulated time the equivalent sequence of
+    :func:`pread` calls would have paid (per-call overhead included), so
+    the covert timing channel is bit-for-bit unchanged — batching only
+    removes the *host* interpreter's per-call dispatch cost.  Returns a
+    list of :class:`ProbeRead`, one per probe, carrying the per-probe
+    ``elapsed_ns``.
+    """
+    return Syscall("pread_batch", (fd, tuple(probes)))
+
+
+def stat_batch(paths: Sequence[str]) -> Syscall:
+    """Vectored stat: one kernel entry for a whole path sweep.
+
+    Returns a list of :class:`ProbeStat` in argument order, each with
+    the StatResult plus the simulated time that individual ``stat``
+    would have taken (path resolution walks the same cache state in the
+    same order as sequential calls).  A missing path raises on the whole
+    batch, like a short ``readv``.
+    """
+    return Syscall("stat_batch", (tuple(paths),))
+
+
 def mkdir(path: str) -> Syscall:
     return Syscall("mkdir", (path,))
 
@@ -157,6 +183,32 @@ def touch(region_id: int, page_index: int) -> Syscall:
 def touch_range(region_id: int, start_page: int, npages: int) -> Syscall:
     """Touch pages in order; returns a list of per-page elapsed times."""
     return Syscall("touch_range", (region_id, start_page, npages))
+
+
+def touch_batch(
+    region_id: int,
+    start_page: int,
+    npages: int,
+    stride: int = 1,
+    threshold_ns: Optional[int] = None,
+    slow_count: int = 1,
+    slow_window: int = 1,
+) -> Syscall:
+    """Vectored page touches with an optional early-stop predicate.
+
+    Touches ``start_page, start_page + stride, ...`` within the next
+    ``npages`` pages, all inside one scheduler dispatch, and returns a
+    :class:`TouchBatchResult` with per-page elapsed times.  When
+    ``threshold_ns`` is given, touching stops right after the page whose
+    ``slow_count``-th slow observation lands within ``slow_window``
+    page indexes — the same windowed detector MAC's sequential probe
+    loop runs in user space, moved kernel-side so an aborted batch
+    leaves exactly the pages the sequential loop would have touched.
+    """
+    return Syscall(
+        "touch_batch",
+        (region_id, start_page, npages, stride, threshold_ns, slow_count, slow_window),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -214,3 +266,44 @@ class ReadResult:
     @property
     def eof(self) -> bool:
         return self.nbytes == 0
+
+
+@dataclass(frozen=True)
+class ProbeRead:
+    """One probe's result inside a :func:`pread_batch` value.
+
+    ``elapsed_ns`` is the simulated time this probe alone took — what
+    the equivalent standalone ``pread``'s ``SyscallResult.elapsed_ns``
+    would have read.  The enclosing SyscallResult's ``elapsed_ns`` is
+    the sum over the batch.
+    """
+
+    nbytes: int
+    elapsed_ns: int
+    data: Optional[bytes] = None
+
+
+@dataclass(frozen=True)
+class ProbeStat:
+    """One path's result inside a :func:`stat_batch` value."""
+
+    stat: Any  # StatResult
+    elapsed_ns: int
+
+
+@dataclass(frozen=True)
+class TouchBatchResult:
+    """Value of :func:`touch_batch`: per-page times plus the stop flag.
+
+    ``stopped`` is True when the slow-run predicate tripped; the last
+    entry of ``elapsed_ns`` is then the touch that tripped it.  (The
+    flag is needed because the predicate can trip on the final page,
+    which is indistinguishable from a clean full pass by length alone.)
+    """
+
+    elapsed_ns: Tuple[int, ...]
+    stopped: bool = False
+
+    @property
+    def pages_touched(self) -> int:
+        return len(self.elapsed_ns)

@@ -195,6 +195,18 @@ class MemoryManager:
     def file_cached(self, key: PageKey) -> bool:
         return self._file_pool.contains(key)
 
+    def touch_file_cached(self, key: PageKey) -> bool:
+        """Clean reference to an already-cached file page; True on a hit.
+
+        The batched-read fast path.  On a hit, :meth:`touch_file` with
+        ``dirty=False`` reduces to exactly the policy touch — the
+        ``_reclaim`` probe it runs is provably a no-op, because inserts
+        always reclaim the pool back under capacity first — so this skips
+        straight to :meth:`CachePolicy.touch_cached`.  On a miss the
+        caller must take the full :meth:`touch_file` path.
+        """
+        return self._file_pool.touch_cached(key)
+
     def touch_file(self, key: PageKey, dirty: bool = False) -> List[PageEntry]:
         """Reference (inserting if absent) a file or metadata page.
 
@@ -284,6 +296,19 @@ class MemoryManager:
         if enabled:
             self._fault_counters[FaultKind.ZERO_FILL].value += 1
         return FaultResult(FaultKind.ZERO_FILL, victims)
+
+    def anon_fault_resident(self, key: AnonKey) -> bool:
+        """RESIDENT-case anon fault without the FaultResult allocation.
+
+        True when the page was resident, leaving pool state, dirty bit,
+        and the fault counter exactly as :meth:`anon_fault`'s resident
+        branch would; False means the caller must run the full fault.
+        """
+        if not self._anon_pool.touch_cached(key, dirty=True):
+            return False
+        if self.obs.enabled:
+            self._fault_counters[FaultKind.RESIDENT].value += 1
+        return True
 
     def anon_resident(self, key: AnonKey) -> bool:
         return self._anon_pool.contains(key)

@@ -6,7 +6,7 @@ from repro.sim.cache.base import FileKey
 from repro.sim.cache.lru import LRUPolicy
 from repro.sim.errors import BadFileDescriptor
 from repro.sim.proc.process import OpenFile, PipeBuffer, Process, ProcessState
-from repro.sim.proc.scheduler import Scheduler
+from repro.sim.proc.scheduler import COMPACT_MIN_ENTRIES, Scheduler
 
 
 def idle():
@@ -110,8 +110,81 @@ class TestScheduler:
         sched.add(a)
         sched.add(b)
         assert sched.runnable_count() == 2
-        b.state = ProcessState.DONE
+        sched.finish(b)
+        assert sched.runnable_count() == 1
         assert sched.live_count() == 1
+        assert sched.lookup(2) is b  # finished PCBs stay reachable
+
+    def test_blocked_count_tracks_transitions(self):
+        sched = Scheduler()
+        a = self._proc(1, 0)
+        b = self._proc(2, 0)
+        sched.add(a)
+        sched.add(b)
+        sched.block(a)
+        assert sched.blocked_count() == 1
+        assert sched.runnable_count() == 1
+        sched.block(a)  # idempotent: already blocked
+        assert sched.blocked_count() == 1
+        sched.make_ready(a, 5)
+        assert sched.blocked_count() == 0
+        assert sched.runnable_count() == 2
+        sched.block(b)
+        sched.finish(b)  # finishing a blocked process
+        assert sched.blocked_count() == 0
+        assert sched.blocked() == []
+
+    def test_single_runner_uses_fast_slot(self):
+        sched = Scheduler()
+        solo = self._proc(1, 0)
+        sched.add(solo)
+        for at in range(1, 50):
+            assert sched.next_ready() is solo
+            sched.make_ready(solo, at)
+        assert sched.next_ready() is solo
+        assert sched.stats.fast_dispatches == 50
+        assert sched.stats.dispatches == 50
+
+    def test_fast_slot_spills_to_heap_in_order(self):
+        sched = Scheduler()
+        first = self._proc(1, 30)
+        second = self._proc(2, 10)  # arrives later but is ready earlier
+        sched.add(first)  # occupies the fast slot
+        sched.add(second)  # forces a spill; ordering must survive
+        assert sched.next_ready() is second
+        assert sched.next_ready() is first
+        assert sched.next_ready() is None
+
+    def test_heap_compaction_drops_stale_entries(self):
+        sched = Scheduler()
+        procs = [self._proc(pid, pid) for pid in range(1, 41)]
+        for p in procs:
+            sched.add(p)
+        # Re-ready everyone repeatedly: each make_ready leaves a stale
+        # heap entry behind, then block() triggers the compaction sweep.
+        for p in procs[1:]:
+            sched.make_ready(p, p.pid + 100)
+            sched.make_ready(p, p.pid + 200)
+        for p in procs[1:]:
+            sched.block(p)
+        assert sched.stats.heap_compactions >= 1
+        # Invariant: once past the minimum size, stale entries never
+        # outnumber live ones two-to-one.
+        assert (
+            len(sched._heap) < COMPACT_MIN_ENTRIES
+            or len(sched._heap) <= 2 * sched.runnable_count()
+        )
+        assert sched.next_ready() is procs[0]
+
+    def test_waitpid_semantics_survive_pruning(self):
+        sched = Scheduler()
+        child = self._proc(9, 0)
+        sched.add(child)
+        child.result = "answer"
+        sched.finish(child)
+        assert sched.lookup(9) is child
+        assert sched.lookup(9).result == "answer"
+        assert 9 not in sched.processes
 
 
 class TestCachePolicyHelpers:

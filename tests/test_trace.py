@@ -246,6 +246,7 @@ class TestTraceAsDebuggingTool:
             rng=random.Random(1),
             access_unit_bytes=4 * MIB,
             prediction_unit_bytes=1 * MIB,
+            batch_probes=False,  # per-probe records are the point here
         )
 
         def app():
