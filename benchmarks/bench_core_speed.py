@@ -41,7 +41,7 @@ from pathlib import Path
 from typing import Callable, Dict, List
 
 from repro.icl.fccd import FCCD
-from repro.sim import Kernel, MachineConfig
+from repro.sim import Kernel, MachineConfig, PLATFORMS
 from repro.sim import syscalls as sc
 from repro.workloads.files import make_file
 
@@ -54,6 +54,11 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_core.json"
 # Ratio gate for --check: fail when the fresh run's speedup drops below
 # this fraction of the baseline's ("regresses >20%").
 REGRESSION_FLOOR = 0.8
+
+# Absolute gate for the per-platform kernel-step rate: the layered
+# kernel must keep at least this fraction of the pre-refactor committed
+# baseline's dispatch throughput on every personality.
+STEP_RATE_FLOOR = 0.9
 
 # Gated measurements.  Only the probe-throughput speedups whose ratio is
 # stable across problem sizes are gated (CI runs --smoke against a
@@ -75,12 +80,28 @@ def _config() -> MachineConfig:
     )
 
 
-def _timed(run: Callable[[], int]) -> Dict[str, float]:
-    """Run once; returns {'per_s': ops/sec, 'seconds': wall} from its count."""
-    t0 = time.perf_counter()
-    ops = run()
-    elapsed = time.perf_counter() - t0
-    return {"per_s": ops / elapsed if elapsed > 0 else 0.0, "seconds": elapsed}
+#: Repetitions for the throughput benches; best-of is reported.  Single
+#: shots on a shared host swing ±30%, which no gate floor survives; the
+#: fastest of three approximates the machine's uncontended rate.
+BEST_OF = 3
+
+
+def _timed(run: Callable[[], int], repeat: int = BEST_OF) -> Dict[str, float]:
+    """Time ``run`` ``repeat`` times; returns the best (fastest) result.
+
+    ``run`` must be re-runnable: every throughput loop here probes warm,
+    steady-state kernel structures, so a second pass measures the same
+    thing as the first (minus first-pass cold misses, which is the
+    point — gates compare achievable rates, not scheduler luck).
+    """
+    best: Dict[str, float] = {"per_s": 0.0, "seconds": float("inf")}
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        ops = run()
+        elapsed = time.perf_counter() - t0
+        if elapsed > 0 and ops / elapsed > best["per_s"]:
+            best = {"per_s": ops / elapsed, "seconds": elapsed}
+    return best
 
 
 def _speedup_entry(sequential: Dict[str, float], batched: Dict[str, float]) -> Dict:
@@ -166,7 +187,14 @@ def bench_touch_probes(n_pages: int, rounds: int, batch_size: int) -> Dict:
         seconds = kernel.run_process(app(), "touch")
         return {"per_s": n_pages * rounds / seconds, "seconds": seconds}
 
-    return _speedup_entry(run(batch=False), run(batch=True))
+    def best(batch: bool) -> Dict[str, float]:
+        # This bench times inside the process (fresh kernel per run), so
+        # best-of is taken over whole runs rather than through _timed.
+        return max(
+            (run(batch) for _ in range(BEST_OF)), key=lambda r: r["per_s"]
+        )
+
+    return _speedup_entry(best(batch=False), best(batch=True))
 
 
 def bench_stat_probes(n_files: int, rounds: int, batch_size: int) -> Dict:
@@ -232,6 +260,51 @@ def bench_kernel_steps(n_steps: int) -> Dict:
     }
 
 
+def bench_kernel_steps_by_platform(n_steps: int) -> Dict:
+    """Dispatch throughput of a mixed syscall loop, per personality.
+
+    The loop blends cheap clock reads with cached single-page preads so
+    the measurement covers the dispatch table *and* the per-platform
+    cache-manager fast path, not just the scheduler slot.  The machine
+    is sized so netbsd15's fixed 64 MB buffer cache fits.
+    """
+    config = MachineConfig(
+        page_size=4 * KIB,
+        memory_bytes=96 * MIB,
+        kernel_reserved_bytes=16 * MIB,
+        data_disks=1,
+    )
+    kernels: Dict[str, Kernel] = {}
+    for name in sorted(PLATFORMS):
+        kernel = Kernel(config, platform=PLATFORMS[name])
+        kernel.run_process(make_file("/mnt0/step.dat", 4 * MIB, sync=False), "setup")
+        kernels[name] = kernel
+
+    def one_run(kernel: Kernel) -> Callable[[], int]:
+        def run() -> int:
+            def app():
+                fd = (yield sc.open("/mnt0/step.dat")).value
+                for i in range(n_steps // 2):
+                    yield sc.gettime()
+                    yield sc.pread(fd, (i * 4 * KIB) % (4 * MIB), 1)
+                yield sc.close(fd)
+            kernel.run_process(app(), "spin")
+            return 2 * (n_steps // 2)
+        return run
+
+    # Repetitions are interleaved round-robin across platforms rather
+    # than back-to-back: host-load bursts last seconds, so consecutive
+    # reps of one platform would all land inside the same burst and its
+    # best-of would still be slow.  Spreading each platform's reps
+    # across the whole measurement window decorrelates them.
+    best: Dict[str, float] = {name: 0.0 for name in kernels}
+    for _ in range(BEST_OF):
+        for name, kernel in kernels.items():
+            timing = _timed(one_run(kernel), repeat=1)
+            best[name] = max(best[name], timing["per_s"])
+    return {name: {"steps_per_s": round(rate, 1)} for name, rate in best.items()}
+
+
 # ----------------------------------------------------------------------
 # End-to-end: one Fig-2 gray-scan point, batched vs sequential FCCD
 # ----------------------------------------------------------------------
@@ -254,7 +327,9 @@ def bench_fig2_scan(size_mb: int, prediction_unit: int) -> Dict:
         def run() -> int:
             reports.append(kernel.run_process(gray_scan("/mnt0/fig2.dat", fccd), "scan"))
             return 1
-        timing = _timed(run)
+        # One shot: a repeat would re-scan a warm cache, a different
+        # workload with a different simulated time.
+        timing = _timed(run, repeat=1)
         timing["simulated_ns"] = reports[0].elapsed_ns
         return timing
 
@@ -282,6 +357,7 @@ def run_suite(smoke: bool = False) -> Dict:
             touch=dict(n_pages=4_000, rounds=1, batch_size=256),
             stat=dict(n_files=200, rounds=4, batch_size=100),
             steps=dict(n_steps=20_000),
+            platform_steps=dict(n_steps=20_000),
             fig2=dict(size_mb=16, prediction_unit=64 * KIB),
         )
     else:
@@ -290,6 +366,7 @@ def run_suite(smoke: bool = False) -> Dict:
             touch=dict(n_pages=8_000, rounds=5, batch_size=256),
             stat=dict(n_files=500, rounds=16, batch_size=250),
             steps=dict(n_steps=200_000),
+            platform_steps=dict(n_steps=100_000),
             fig2=dict(size_mb=48, prediction_unit=16 * KIB),
         )
     return {
@@ -301,6 +378,9 @@ def run_suite(smoke: bool = False) -> Dict:
             "touch_probe_throughput": bench_touch_probes(**params["touch"]),
             "stat_probe_throughput": bench_stat_probes(**params["stat"]),
             "kernel_step_rate": bench_kernel_steps(**params["steps"]),
+            "kernel_step_rate_by_platform": bench_kernel_steps_by_platform(
+                **params["platform_steps"]
+            ),
             "fig2_scan": bench_fig2_scan(**params["fig2"]),
         },
     }
@@ -319,6 +399,27 @@ def check_regression(current: Dict, baseline: Dict) -> List[str]:
             failures.append(
                 f"{key}: speedup {cur['speedup']:.2f}x fell below "
                 f"{floor:.2f}x (80% of baseline {base['speedup']:.2f}x)"
+            )
+    # Absolute step rates are only comparable between equally-sized runs:
+    # the smoke loop retires far fewer syscalls, so its cold-miss fraction
+    # (and thus steps/s) differs systematically from a full run.  Speedup
+    # ratios above are size- and host-insensitive and stay gated always.
+    same_mode = current.get("smoke") == baseline.get("smoke")
+    base_steps = baseline.get("results", {}).get("kernel_step_rate_by_platform") or {}
+    cur_steps = current.get("results", {}).get("kernel_step_rate_by_platform") or {}
+    if not same_mode:
+        base_steps = {}
+    for name, base in base_steps.items():
+        cur = cur_steps.get(name)
+        if not cur:
+            failures.append(f"kernel_step_rate_by_platform: no fresh entry for {name}")
+            continue
+        floor = base["steps_per_s"] * STEP_RATE_FLOOR
+        if cur["steps_per_s"] < floor:
+            failures.append(
+                f"kernel_step_rate_by_platform[{name}]: {cur['steps_per_s']:.0f} "
+                f"steps/s fell below {floor:.0f} "
+                f"(90% of baseline {base['steps_per_s']:.0f})"
             )
     fig2 = current.get("results", {}).get("fig2_scan", {})
     if fig2 and not fig2.get("simulated_ns_equal", True):
@@ -346,8 +447,11 @@ def main(argv: List[str] = None) -> int:
     if args.check is not None:
         baseline = json.loads(args.check.read_text())
         failures = check_regression(current, baseline)
-        # The gate run must not clobber the committed baseline.
-        if args.output != args.check:
+        # The gate run must not clobber the committed baseline.  Compare
+        # resolved paths: the default output is absolute while --check is
+        # usually given relative, and a naive != would treat them as
+        # different files and silently overwrite the baseline.
+        if args.output.resolve() != args.check.resolve():
             args.output.write_text(json.dumps(current, indent=2) + "\n")
         if failures:
             for failure in failures:

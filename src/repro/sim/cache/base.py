@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, NamedTuple, Tuple, Union
+from typing import Iterable, Iterator, List, NamedTuple, Union
 
 from repro.obs.metrics import SnapshotStats
 
@@ -64,17 +64,50 @@ class CachePolicy(ABC):
 
     Policies never perform I/O and never enforce capacity; they only
     maintain recency/reference state and nominate victims on demand.
-    Every policy maintains a :class:`CacheStats` (subclasses call
-    ``super().__init__()`` and update it inside ``touch`` /
-    ``pop_victims`` / ``demote``).
+    Every policy maintains a :class:`CacheStats`; hit/miss accounting is
+    centralized in the base class's :meth:`touch` / :meth:`touch_cached`
+    template methods, so subclasses implement only the two stat-free
+    primitives :meth:`_reference` and :meth:`_insert` (plus eviction
+    accounting inside ``pop_victims`` / ``demote``).
     """
 
     def __init__(self) -> None:
         self.stats = CacheStats()
 
-    @abstractmethod
+    # Access template: one shared hit/miss bookkeeping path ------------
     def touch(self, key: PageKey, dirty: bool = False) -> None:
         """Record an access; inserts the page if it is not present."""
+        if self._reference(key, dirty):
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+            self._insert(key, dirty)
+
+    def touch_cached(self, key: PageKey, dirty: bool = False) -> bool:
+        """Touch the page only if present; True on a hit.
+
+        The batched-syscall fast path's primitive: one policy lookup,
+        no insert, no miss accounting on the absent case (the caller
+        falls back to the full :meth:`touch` path, which counts it).
+        Shared here so every policy gets the fused form for free.
+        """
+        if self._reference(key, dirty):
+            self.stats.hits += 1
+            return True
+        return False
+
+    @abstractmethod
+    def _reference(self, key: PageKey, dirty: bool) -> bool:
+        """Re-reference ``key`` iff present; True on a hit.
+
+        Must update recency/reference state and the dirty bit exactly
+        as a hit in the policy's replacement discipline demands, and
+        must NOT touch :attr:`stats` — the template methods do that.
+        """
+
+    @abstractmethod
+    def _insert(self, key: PageKey, dirty: bool) -> None:
+        """Insert an absent page as the most recently used (no stats)."""
 
     @abstractmethod
     def contains(self, key: PageKey) -> bool:
@@ -113,20 +146,6 @@ class CachePolicy(ABC):
         """Iterate over cached page keys (oracle/testing use)."""
 
     # Convenience shared by all policies -------------------------------
-    def touch_cached(self, key: PageKey, dirty: bool = False) -> bool:
-        """Touch the page only if present; True on a hit.
-
-        Behaviourally ``contains(key) and touch(key, dirty)`` fused into
-        one lookup — the batched-syscall fast path's primitive.  The
-        default is the two-call form; policies override it to save the
-        second lookup, and every override must leave recency state and
-        :attr:`stats` exactly as ``touch`` on a present page would.
-        """
-        if not self.contains(key):
-            return False
-        self.touch(key, dirty)
-        return True
-
     def remove_many(self, keys: Iterable[PageKey]) -> int:
         removed = 0
         for key in keys:

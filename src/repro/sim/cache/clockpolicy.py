@@ -48,25 +48,16 @@ class ClockPolicy(CachePolicy):
     def _ring_of(self, key: PageKey) -> "OrderedDict[PageKey, _Frame]":
         return self._anon_ring if isinstance(key, AnonKey) else self._file_ring
 
-    def touch(self, key: PageKey, dirty: bool = False) -> None:
-        ring = self._ring_of(key)
-        frame = ring.get(key)
-        if frame is None:
-            self.stats.misses += 1
-            ring[key] = _Frame(dirty)
-        else:
-            self.stats.hits += 1
-            frame.referenced = True
-            frame.dirty = frame.dirty or dirty
-
-    def touch_cached(self, key: PageKey, dirty: bool = False) -> bool:
+    def _reference(self, key: PageKey, dirty: bool) -> bool:
         frame = self._ring_of(key).get(key)
         if frame is None:
             return False
-        self.stats.hits += 1
         frame.referenced = True
         frame.dirty = frame.dirty or dirty
         return True
+
+    def _insert(self, key: PageKey, dirty: bool) -> None:
+        self._ring_of(key)[key] = _Frame(dirty)
 
     def contains(self, key: PageKey) -> bool:
         return key in self._ring_of(key)

@@ -23,23 +23,16 @@ class LRUPolicy(CachePolicy):
         super().__init__()
         self._pages: "OrderedDict[PageKey, bool]" = OrderedDict()
 
-    def touch(self, key: PageKey, dirty: bool = False) -> None:
-        previous = self._pages.pop(key, _ABSENT)
-        if previous is _ABSENT:
-            self.stats.misses += 1
-            previous = False
-        else:
-            self.stats.hits += 1
-        self._pages[key] = previous or dirty
-
-    def touch_cached(self, key: PageKey, dirty: bool = False) -> bool:
+    def _reference(self, key: PageKey, dirty: bool) -> bool:
         pages = self._pages
         previous = pages.pop(key, _ABSENT)
         if previous is _ABSENT:
             return False
-        self.stats.hits += 1
         pages[key] = previous or dirty
         return True
+
+    def _insert(self, key: PageKey, dirty: bool) -> None:
+        self._pages[key] = dirty
 
     def contains(self, key: PageKey) -> bool:
         return key in self._pages

@@ -61,16 +61,17 @@ class SegmapPolicy(CachePolicy):
             heapq.heappush(self._heap, (-self._seq, owner))
         return pages
 
-    def touch(self, key: PageKey, dirty: bool = False) -> None:
-        pages = self._pages_of(key)
-        if key in pages:
-            self.stats.hits += 1
-            if dirty:
-                pages[key] = True
-        else:
-            self.stats.misses += 1
-            pages[key] = dirty
-            self._count += 1
+    def _reference(self, key: PageKey, dirty: bool) -> bool:
+        pages = self._owners.get(_owner_of(key))
+        if pages is None or key not in pages:
+            return False
+        if dirty:
+            pages[key] = True
+        return True
+
+    def _insert(self, key: PageKey, dirty: bool) -> None:
+        self._pages_of(key)[key] = dirty
+        self._count += 1
 
     def contains(self, key: PageKey) -> bool:
         pages = self._owners.get(_owner_of(key))

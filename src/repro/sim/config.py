@@ -22,9 +22,12 @@ knowledge plus observations, rather than per-OS detail.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
 
 from repro.sim.clock import MICROS, MILLIS, NANOS
+
+if TYPE_CHECKING:
+    from repro.sim.cache.base import CachePolicy
 
 KIB = 1024
 MIB = 1024 * 1024
@@ -155,8 +158,33 @@ class MachineConfig:
 
 
 @dataclass(frozen=True)
+class PoolPlan:
+    """The page-pool arrangement a platform hands the memory manager.
+
+    ``unified`` means ``file_pool is anon_pool`` — one replacement pool
+    shared by file, metadata, and anonymous pages, with both capacities
+    equal to all available memory.
+    """
+
+    file_pool: "CachePolicy"
+    file_capacity_pages: int
+    anon_pool: "CachePolicy"
+    anon_capacity_pages: int
+    unified: bool
+
+
+@dataclass(frozen=True)
 class PlatformSpec:
-    """An operating-system personality layered on the shared kernel code."""
+    """An operating-system personality layered on the shared kernel code.
+
+    Personalities are *data plus hooks*: policy names, sizing constants,
+    and — where data alone cannot express a behaviour — factory hooks
+    (:meth:`make_pools`, :attr:`page_cache_factory`,
+    :attr:`syscall_overrides`) that the kernel resolves once at
+    construction.  Shared kernel code never branches on the platform
+    name, which is exactly the property the paper's ICLs exploit: the
+    OSes differ in policy, not in the syscall surface.
+    """
 
     name: str
     description: str
@@ -173,6 +201,50 @@ class PlatformSpec:
     # more time in rotation" — a gap of one block reproduces exactly
     # that observable.
     ffs_alloc_gap: int = 0
+    # Replacement policy for the anonymous pool when the platform splits
+    # pools (ignored in unified mode, where one policy serves both).
+    anon_cache_policy: str = "lru"
+    # Construction hooks, resolved once when the kernel is assembled.
+    # ``page_cache_factory`` (same signature as PageCacheManager) lets a
+    # platform substitute its own data-page I/O manager; ``None`` means
+    # the stock one.  ``syscall_overrides`` is a tuple of
+    # ``(syscall_name, factory)`` pairs; each ``factory(kernel)`` returns
+    # the replacement handler, installed via ``SyscallTable.override``.
+    page_cache_factory: Optional[Callable[..., Any]] = None
+    syscall_overrides: Tuple[Tuple[str, Callable[[Any], Callable[..., Any]]], ...] = ()
+
+    def make_pools(self, config: MachineConfig) -> PoolPlan:
+        """Build this platform's page pools for ``config``'s memory.
+
+        Split platforms (``fixed_file_cache_bytes`` set) get a dedicated
+        file/metadata pool of that size plus an anonymous pool (policy
+        :attr:`anon_cache_policy`) over the remainder; unified platforms
+        get one pool, under :attr:`cache_policy`, spanning everything.
+        """
+        # Imported here: config is the bottom layer, the cache package
+        # sits above it, and only this hook needs to reach upward.
+        from repro.sim.cache import make_policy
+
+        total = config.available_pages
+        if self.fixed_file_cache_bytes is not None:
+            file_pages = self.fixed_file_cache_bytes // config.page_size
+            if not 0 < file_pages < total:
+                raise ValueError("fixed file cache must fit inside available memory")
+            return PoolPlan(
+                file_pool=make_policy(self.cache_policy),
+                file_capacity_pages=file_pages,
+                anon_pool=make_policy(self.anon_cache_policy),
+                anon_capacity_pages=total - file_pages,
+                unified=False,
+            )
+        pool = make_policy(self.cache_policy)
+        return PoolPlan(
+            file_pool=pool,
+            file_capacity_pages=total,
+            anon_pool=pool,
+            anon_capacity_pages=total,
+            unified=True,
+        )
 
 
 linux22 = PlatformSpec(

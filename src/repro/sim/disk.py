@@ -18,7 +18,7 @@ maps onto a run of sectors, laid out cylinder-major.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from math import sqrt
 from typing import Tuple
 

@@ -9,7 +9,7 @@ on a fresh directory and an arbitrary order after aging.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from repro.sim.errors import FileExists, FileNotFound
 

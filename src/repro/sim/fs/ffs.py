@@ -18,12 +18,11 @@ The allocation policy is the gray-box knowledge FLDC depends on
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.sim.errors import FileExists, FileNotFound, InvalidArgument, NoSpace
 from repro.sim.fs.directory import Directory
-from repro.sim.fs.inode import INODE_BYTES, FileKind, Inode, to_inode_seconds
+from repro.sim.fs.inode import INODE_BYTES, FileKind, Inode
 
 ROOT_INO = 1
 

@@ -1,0 +1,260 @@
+"""The VFS/name layer: path walking, metadata I/O, namespace syscalls.
+
+Everything that turns a *path* into an inode lives here: component-by-
+component directory walks that charge simulated time for every inode
+table block and directory data page read through the cache, plus the
+namespace syscalls (``stat``/``stat_batch``/``mkdir``/``rmdir``/
+``unlink``/``rename``/``readdir``/``utimes``) built on those walks.
+
+The layer reads and dirties *metadata and directory* pages itself (via
+the memory manager and the page-cache manager's eviction machinery) but
+never touches file *data* pages — those belong to
+:class:`~repro.sim.fileio.FileIO` above and
+:class:`~repro.sim.pagecache.PageCacheManager` below.
+
+Time discipline matches the rest of the kernel: methods take simulated
+time ``t`` and return the new time; syscall handlers return
+``(value, duration)`` pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Tuple
+
+from repro.sim.cache.base import FileKey, MetaKey, PageEntry
+from repro.sim.clock import Clock
+from repro.sim.config import MachineConfig
+from repro.sim.disk import Disk
+from repro.sim.dispatch import SyscallTable
+from repro.sim.errors import InvalidArgument, NotADirectory
+from repro.sim.fs.directory import DIRENT_BYTES
+from repro.sim.fs.ffs import FFS, ROOT_INO
+from repro.sim.fs.inode import FileKind, Inode, StatResult
+from repro.sim.fs.vfs import MountTable, PathName
+from repro.sim.pagecache import PageCacheManager
+from repro.sim.proc.process import Process
+from repro.sim.syscalls import ProbeStat
+from repro.sim.vm.physmem import MemoryManager
+
+
+class NameLayer:
+    """Path resolution and namespace operations over mounted filesystems.
+
+    ``is_open`` is bound after construction (the open-file registry
+    lives in the file-I/O layer above): ``unlink`` consults it so a
+    file with live descriptors cannot be removed.
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        clock: Clock,
+        mm: MemoryManager,
+        page_cache: PageCacheManager,
+        mounts: MountTable,
+        disk_of_fs: Mapping[int, Disk],
+        contents: Dict[Tuple[int, int], bytearray],
+    ) -> None:
+        self.config = config
+        self.clock = clock
+        self.mm = mm
+        self.page_cache = page_cache
+        self.mounts = mounts
+        self._disk_of_fs = disk_of_fs
+        self._contents = contents
+        self._is_open: Callable[[int, int], bool] = lambda fs_id, ino: False
+
+    def bind_open_counts(self, is_open: Callable[[int, int], bool]) -> None:
+        """Wire the file-I/O layer's open-descriptor check into unlink."""
+        self._is_open = is_open
+
+    def register_syscalls(self, table: SyscallTable) -> None:
+        table.register("stat", self.sys_stat)
+        table.register("stat_batch", self.sys_stat_batch)
+        table.register("mkdir", self.sys_mkdir)
+        table.register("rmdir", self.sys_rmdir)
+        table.register("unlink", self.sys_unlink)
+        table.register("rename", self.sys_rename)
+        table.register("readdir", self.sys_readdir)
+        table.register("utimes", self.sys_utimes)
+
+    # ==================================================================
+    # Path resolution and metadata I/O
+    # ==================================================================
+    def fs_for(self, parsed: PathName) -> Tuple[FFS, Disk]:
+        fs, _disk_id = self.mounts.filesystem(parsed.mount)
+        return fs, self._disk_of_fs[fs.fs_id]
+
+    def meta_read(self, fs: FFS, disk: Disk, block: int, t: int) -> int:
+        """Read one metadata block through the cache; returns new time."""
+        key = MetaKey(fs.fs_id, block)
+        if self.mm.file_cached(key):
+            self.mm.touch_file(key)
+            return t + self.config.page_copy_ns(128)
+        _start, end = disk.access(block, 1, t, self.config.page_size)
+        victims = self.mm.touch_file(key)
+        return self.page_cache.dispose_victims(victims, end)
+
+    def read_inode(self, fs: FFS, disk: Disk, ino: int, t: int) -> int:
+        return self.meta_read(fs, disk, fs.inode_table_block(ino), t)
+
+    def read_dir_pages(self, fs: FFS, disk: Disk, dir_ino: int, t: int) -> int:
+        inode = fs.get_inode(dir_ino)
+        npages = max(inode.npages(self.config.page_size), 1)
+        t, _hits = self.page_cache.read_file_pages(
+            fs, disk, inode, range(min(npages, len(inode.blocks))), t
+        )
+        return t
+
+    def resolve(self, process: Process, path: str, t: int) -> Tuple[FFS, Disk, Inode, int]:
+        """Walk ``path``; returns (fs, disk, inode, new_time)."""
+        parsed = PathName.parse(path)
+        fs, disk = self.fs_for(parsed)
+        ino = ROOT_INO
+        t = self.read_inode(fs, disk, ino, t)
+        for component in parsed.components:
+            inode = fs.get_inode(ino)
+            if not inode.is_dir:
+                raise NotADirectory(f"{component!r} reached via a non-directory")
+            t = self.read_dir_pages(fs, disk, ino, t)
+            ino = fs.get_directory(ino).lookup(component)
+            t = self.read_inode(fs, disk, ino, t)
+        return fs, disk, fs.get_inode(ino), t
+
+    def resolve_parent(
+        self, process: Process, path: str, t: int
+    ) -> Tuple[FFS, Disk, Inode, str, int]:
+        parsed = PathName.parse(path)
+        fs, disk, parent, t = self.resolve(process, str(parsed.dirname), t)
+        if not parent.is_dir:
+            raise NotADirectory(f"parent of {path!r} is not a directory")
+        return fs, disk, parent, parsed.basename, t
+
+    # ==================================================================
+    # Metadata dirtying and inode-cache drop paths
+    # ==================================================================
+    def dirty_meta(self, fs: FFS, ino: int, t: int) -> int:
+        key = MetaKey(fs.fs_id, fs.inode_table_block(ino))
+        victims = self.mm.touch_file(key, dirty=True)
+        return self.page_cache.dispose_victims(victims, t)
+
+    def dirty_dir_data(self, fs: FFS, dir_ino: int, t: int) -> int:
+        """Writing a directory entry leaves the directory's data cached."""
+        inode = fs.get_inode(dir_ino)
+        victims: List[PageEntry] = []
+        for index in range(len(inode.blocks)):
+            victims.extend(
+                self.mm.touch_file(FileKey(fs.fs_id, dir_ino, index), dirty=True)
+            )
+        return self.page_cache.dispose_victims(victims, t)
+
+    def drop_cached_inode(self, fs: FFS, dead: Inode) -> None:
+        npages = max(len(dead.blocks), dead.npages(self.config.page_size))
+        for index in range(npages):
+            self.mm.drop_file_page(FileKey(fs.fs_id, dead.ino, index))
+
+    def drop_file_cache(self, fs: FFS, inode: Inode) -> None:
+        for index in range(len(inode.blocks)):
+            self.mm.drop_file_page(FileKey(fs.fs_id, inode.ino, index))
+
+    # ==================================================================
+    # Namespace syscall handlers
+    # ==================================================================
+    def sys_stat(self, process: Process, path: str):
+        t0 = self.clock.now
+        t = t0 + self.config.syscall_overhead_ns
+        fs, disk, inode, t = self.resolve(process, path, t)
+        return StatResult.from_inode(inode), t - t0
+
+    def sys_stat_batch(self, process: Process, paths):
+        """Vectored stat: resolve every path in one dispatch.
+
+        Resolution warms the metadata cache cumulatively, exactly as a
+        sequence of ``stat`` calls would, and each entry carries that
+        call's simulated elapsed time.  A missing path fails the whole
+        batch (the completed walks' cache effects remain, as with any
+        partially-failed vectored call).
+        """
+        t0 = self.clock.now
+        t = t0
+        results: List[ProbeStat] = []
+        for path in paths:
+            start = t
+            t += self.config.syscall_overhead_ns
+            fs, disk, inode, t = self.resolve(process, path, t)
+            results.append(ProbeStat(StatResult.from_inode(inode), t - start))
+        return results, t - t0
+
+    def sys_mkdir(self, process: Process, path: str):
+        t0 = self.clock.now
+        t = t0 + self.config.syscall_overhead_ns
+        fs, disk, parent, name, t = self.resolve_parent(process, path, t)
+        inode = fs.create(parent.ino, name, FileKind.DIRECTORY, self.clock.now)
+        t = self.dirty_meta(fs, inode.ino, t)
+        t = self.dirty_meta(fs, parent.ino, t)
+        t = self.dirty_dir_data(fs, parent.ino, t)
+        t = self.dirty_dir_data(fs, inode.ino, t)
+        return None, t - t0
+
+    def sys_rmdir(self, process: Process, path: str):
+        t0 = self.clock.now
+        t = t0 + self.config.syscall_overhead_ns
+        fs, disk, parent, name, t = self.resolve_parent(process, path, t)
+        dead, _freed = fs.rmdir(parent.ino, name, self.clock.now)
+        self.drop_cached_inode(fs, dead)
+        t = self.dirty_meta(fs, parent.ino, t)
+        t = self.dirty_dir_data(fs, parent.ino, t)
+        return None, t - t0
+
+    def sys_unlink(self, process: Process, path: str):
+        t0 = self.clock.now
+        t = t0 + self.config.syscall_overhead_ns
+        fs, disk, parent, name, t = self.resolve_parent(process, path, t)
+        ino = fs.get_directory(parent.ino).lookup(name)
+        if self._is_open(fs.fs_id, ino):
+            raise InvalidArgument(f"{path!r} is still open; close it before unlink")
+        dead, _freed = fs.unlink(parent.ino, name, self.clock.now)
+        self.drop_cached_inode(fs, dead)
+        self._contents.pop((fs.fs_id, dead.ino), None)
+        t = self.dirty_meta(fs, parent.ino, t)
+        t = self.dirty_dir_data(fs, parent.ino, t)
+        return None, t - t0
+
+    def sys_rename(self, process: Process, old: str, new: str):
+        t0 = self.clock.now
+        t = t0 + self.config.syscall_overhead_ns
+        old_parsed = PathName.parse(old)
+        new_parsed = PathName.parse(new)
+        if old_parsed.mount != new_parsed.mount:
+            raise InvalidArgument("rename cannot cross filesystems")
+        fs, disk, old_parent, old_name, t = self.resolve_parent(process, old, t)
+        _fs, _disk, new_parent, new_name, t = self.resolve_parent(process, new, t)
+        fs.rename(old_parent.ino, old_name, new_parent.ino, new_name, self.clock.now)
+        t = self.dirty_meta(fs, old_parent.ino, t)
+        t = self.dirty_meta(fs, new_parent.ino, t)
+        t = self.dirty_dir_data(fs, old_parent.ino, t)
+        t = self.dirty_dir_data(fs, new_parent.ino, t)
+        return None, t - t0
+
+    def sys_readdir(self, process: Process, path: str):
+        t0 = self.clock.now
+        t = t0 + self.config.syscall_overhead_ns
+        fs, disk, inode, t = self.resolve(process, path, t)
+        if not inode.is_dir:
+            raise NotADirectory(f"{path!r} is not a directory")
+        t = self.read_dir_pages(fs, disk, inode.ino, t)
+        names = fs.get_directory(inode.ino).names()
+        t += self.config.page_copy_ns(len(names) * DIRENT_BYTES)
+        return names, t - t0
+
+    def sys_utimes(self, process: Process, path: str, atime_s: int, mtime_s: int):
+        t0 = self.clock.now
+        t = t0 + self.config.syscall_overhead_ns
+        fs, disk, inode, t = self.resolve(process, path, t)
+        inode.atime = atime_s
+        inode.mtime = mtime_s
+        t = self.dirty_meta(fs, inode.ino, t)
+        return None, t - t0
+
+
+__all__ = ["NameLayer"]

@@ -1,15 +1,27 @@
-"""The simulated kernel.
+"""The simulated kernel: subsystem assembly and the scheduler loop.
 
 Executes syscalls on behalf of generator-coroutine processes, charging
-each one simulated time assembled from the machine model:
+each one simulated time assembled from the machine model.  The actual
+machinery lives in layered subsystems (see ``ARCHITECTURE.md``):
 
-* CPU work contends for the machine's CPUs (``compute``);
-* file reads/writes walk the page cache, clustering contiguous misses
-  into single disk requests;
-* memory faults zero-fill, swap in, and — when the pool is full —
-  synchronously pay for the page daemon's clustered writebacks;
-* disks serialize requests through ``busy_until``, so competing
-  processes queue realistically.
+* :class:`~repro.sim.dispatch.SyscallTable` — name → handler registry;
+  each subsystem registers its own handlers, then the platform
+  personality applies its overrides;
+* :class:`~repro.sim.fs.namei.NameLayer` — path walking, metadata I/O,
+  and the namespace syscalls;
+* :class:`~repro.sim.fileio.FileIO` — descriptor syscalls and the
+  open-file registry;
+* :class:`~repro.sim.pagecache.PageCacheManager` — data-page movement
+  between memory and disk (clustered fills, writebacks, throttling);
+* :class:`~repro.sim.vm.faults.VMLayer` — anonymous-memory syscalls and
+  fault servicing;
+* :class:`~repro.sim.proc.syscalls.ProcLayer` — process-control
+  syscalls and pipes.
+
+What remains here is what genuinely spans subsystems: construction and
+wiring, the scheduler loop (``run`` / ``_step`` / ``_execute``),
+process lifecycle (``spawn`` / exit cleanup), and the time/CPU syscalls
+(``gettime`` / ``compute`` / ``sleep``) that touch only kernel state.
 
 Processes see *only* :class:`~repro.sim.syscalls.SyscallResult` values.
 Tests and the experiment harness use :class:`Oracle` for ground truth.
@@ -17,45 +29,29 @@ Tests and the experiment harness use :class:`Oracle` for ground truth.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
 
 from repro.obs import Observability
-from repro.sim.cache.base import AnonKey, FileKey, MetaKey, PageEntry
+from repro.sim.cache.base import AnonKey, FileKey
 from repro.sim.clock import Clock
 from repro.sim.config import MachineConfig, PlatformSpec, linux22
 from repro.sim.disk import Disk
-from repro.sim.errors import (
-    BadFileDescriptor,
-    FileNotFound,
-    InvalidArgument,
-    IsADirectory,
-    NotADirectory,
-    SimOSError,
-)
-from repro.sim.fs.directory import DIRENT_BYTES
+from repro.sim.dispatch import BLOCK, SyscallTable
+from repro.sim.errors import InvalidArgument, SimOSError
+from repro.sim.fileio import FileIO
 from repro.sim.fs.ffs import FFS, ROOT_INO
-from repro.sim.fs.inode import FileKind, Inode, StatResult
+from repro.sim.fs.inode import Inode
+from repro.sim.fs.namei import NameLayer
 from repro.sim.fs.vfs import MountTable, PathName
-from repro.sim.proc.process import OpenFile, PipeBuffer, Process, ProcessState
+from repro.sim.pagecache import PageCacheManager
+from repro.sim.proc.process import PipeBuffer, Process, ProcessState
 from repro.sim.proc.scheduler import Scheduler
-from repro.sim.syscalls import (
-    ProbeRead,
-    ProbeStat,
-    ReadResult,
-    Syscall,
-    SyscallResult,
-    TouchBatchResult,
-)
-from repro.sim.vm.physmem import FaultKind, MemoryManager
+from repro.sim.proc.syscalls import ProcLayer
+from repro.sim.syscalls import Syscall, SyscallResult
+from repro.sim.vm.faults import VMLayer
+from repro.sim.vm.physmem import MemoryManager
 
-
-class _Block:
-    """Sentinel a handler returns to park the caller until woken."""
-
-    __slots__ = ()
-
-
-BLOCK = _Block()
+__all__ = ["Kernel", "Oracle", "BLOCK", "CG_BYTES_DEFAULT"]
 
 # Default cylinder-group footprint: 16 MiB of data blocks per group
 # ("a few consecutive cylinders" at 2001 densities), independent of the
@@ -122,17 +118,46 @@ class Kernel:
         if self.obs.enabled:
             self.obs.metrics.register_stats("sched", self.scheduler.stats)
         self._next_pid = 1
-        self._next_pipe_id = 1
-        self._open_count: Dict[Tuple[int, int], int] = {}
         # Real byte content, present only for files written with bytes.
         self.contents: Dict[Tuple[int, int], bytearray] = {}
-        self.oracle = Oracle(self)
 
-        self._handlers: Dict[str, Callable] = {
-            name[5:]: getattr(self, name)
-            for name in dir(self)
-            if name.startswith("_sys_")
-        }
+        # --- subsystem assembly (order follows the data dependencies) --
+        page_cache_factory = platform.page_cache_factory or PageCacheManager
+        self.page_cache = page_cache_factory(
+            cfg, self.mm, self.swap_disk, self._fs_by_id, self._disk_of_fs
+        )
+        self.vfs = NameLayer(
+            cfg,
+            self.clock,
+            self.mm,
+            self.page_cache,
+            self.mounts,
+            self._disk_of_fs,
+            self.contents,
+        )
+        self.procs = ProcLayer(cfg, self.clock, self.scheduler, self.spawn)
+        self.fileio = FileIO(
+            cfg, self.clock, self.mm, self.vfs, self.page_cache, self.procs,
+            self.contents,
+        )
+        self.vm = VMLayer(cfg, self.clock, self.mm, self.swap_disk, self.page_cache)
+        self.vfs.bind_open_counts(self.fileio.is_open)
+
+        self.syscalls = SyscallTable()
+        self.vfs.register_syscalls(self.syscalls)
+        self.fileio.register_syscalls(self.syscalls)
+        self.vm.register_syscalls(self.syscalls)
+        self.procs.register_syscalls(self.syscalls)
+        self.syscalls.register("gettime", self._sys_gettime)
+        self.syscalls.register("compute", self._sys_compute)
+        self.syscalls.register("sleep", self._sys_sleep)
+        for name, factory in platform.syscall_overrides:
+            self.syscalls.override(name, factory(self))
+        # The dispatch loop does one dict get per syscall; bind the
+        # table's live mapping once.
+        self._handlers: Dict[str, Callable] = self.syscalls.mapping()
+
+        self.oracle = Oracle(self)
 
     # ==================================================================
     # Process lifecycle and the scheduler loop
@@ -163,6 +188,14 @@ class Kernel:
         process.ready_at = self.clock.now
         self.scheduler.add(process)
         return process
+
+    def make_pipe(self) -> PipeBuffer:
+        """Create an unattached pipe for host-side pipeline wiring."""
+        return self.procs.make_pipe()
+
+    def share_pipe_end(self, process: Process, pipe: PipeBuffer, kind: str) -> int:
+        """Give ``process`` a new descriptor on an existing pipe end."""
+        return self.procs.share_pipe_end(process, pipe, kind)
 
     def run(self, max_steps: Optional[int] = None) -> None:
         """Run until every process finishes (or ``max_steps`` syscalls).
@@ -249,7 +282,7 @@ class Kernel:
         process.result = result
         self.scheduler.finish(process)
         for fd in list(process.fd_table):
-            self._release_fd(process, process.fd_table.pop(fd))
+            self.fileio.release_fd(process, process.fd_table.pop(fd))
         keys = [AnonKey(process.pid, page) for page in process.address_space.touched]
         self.mm.release_process(process.pid, keys)
         for waiter_pid in process.waiters:
@@ -258,707 +291,9 @@ class Kernel:
                 self.scheduler.make_ready(waiter, self.clock.now)
         process.waiters.clear()
 
-    def _wake_all(self, pids: List[int]) -> None:
-        for pid in pids:
-            waiter = self.scheduler.processes.get(pid)
-            if waiter is not None and waiter.state is ProcessState.BLOCKED:
-                self.scheduler.make_ready(waiter, self.clock.now)
-        pids.clear()
-
     # ==================================================================
-    # Path resolution and metadata I/O
+    # Time and CPU (the only syscalls that touch kernel-wide state)
     # ==================================================================
-    def _fs_for(self, parsed: PathName) -> Tuple[FFS, Disk]:
-        fs, disk_id = self.mounts.filesystem(parsed.mount)
-        return fs, self._disk_of_fs[fs.fs_id]
-
-    def _meta_read(self, fs: FFS, disk: Disk, block: int, t: int) -> int:
-        """Read one metadata block through the cache; returns new time."""
-        key = MetaKey(fs.fs_id, block)
-        if self.mm.file_cached(key):
-            self.mm.touch_file(key)
-            return t + self.config.page_copy_ns(128)
-        _start, end = disk.access(block, 1, t, self.config.page_size)
-        victims = self.mm.touch_file(key)
-        return self._dispose_victims(victims, end)
-
-    def _read_inode(self, fs: FFS, disk: Disk, ino: int, t: int) -> int:
-        return self._meta_read(fs, disk, fs.inode_table_block(ino), t)
-
-    def _read_dir_pages(self, fs: FFS, disk: Disk, dir_ino: int, t: int) -> int:
-        inode = fs.get_inode(dir_ino)
-        npages = max(inode.npages(self.config.page_size), 1)
-        t, _hits = self._read_file_pages(fs, disk, inode, range(min(npages, len(inode.blocks))), t)
-        return t
-
-    def _resolve(self, process: Process, path: str, t: int) -> Tuple[FFS, Disk, Inode, int]:
-        """Walk ``path``; returns (fs, disk, inode, new_time)."""
-        parsed = PathName.parse(path)
-        fs, disk = self._fs_for(parsed)
-        ino = ROOT_INO
-        t = self._read_inode(fs, disk, ino, t)
-        for component in parsed.components:
-            inode = fs.get_inode(ino)
-            if not inode.is_dir:
-                raise NotADirectory(f"{component!r} reached via a non-directory")
-            t = self._read_dir_pages(fs, disk, ino, t)
-            ino = fs.get_directory(ino).lookup(component)
-            t = self._read_inode(fs, disk, ino, t)
-        return fs, disk, fs.get_inode(ino), t
-
-    def _resolve_parent(
-        self, process: Process, path: str, t: int
-    ) -> Tuple[FFS, Disk, Inode, str, int]:
-        parsed = PathName.parse(path)
-        fs, disk, parent, t = self._resolve(process, str(parsed.dirname), t)
-        if not parent.is_dir:
-            raise NotADirectory(f"parent of {path!r} is not a directory")
-        return fs, disk, parent, parsed.basename, t
-
-    # ==================================================================
-    # Data-page I/O
-    # ==================================================================
-    def _read_file_pages(
-        self, fs: FFS, disk: Disk, inode: Inode, indexes: Iterable[int], t: int
-    ) -> Tuple[int, int]:
-        """Bring the given pages into cache; returns (new_time, hit_count).
-
-        Contiguous cache misses whose disk blocks are also contiguous are
-        clustered into single disk requests.
-        """
-        hits = 0
-        run_start_block = -1
-        run_len = 0
-
-        def flush_run(now: int) -> int:
-            nonlocal run_len, run_start_block
-            if run_len == 0:
-                return now
-            _s, end = disk.access(run_start_block, run_len, now, self.config.page_size)
-            run_len = 0
-            return end
-
-        pending_victims: List[PageEntry] = []
-        for index in indexes:
-            key = FileKey(fs.fs_id, inode.ino, index)
-            if self.mm.file_cached(key):
-                self.mm.touch_file(key)
-                hits += 1
-                continue
-            block = inode.block_of_page(index)
-            if run_len and block == run_start_block + run_len:
-                run_len += 1
-            else:
-                t = flush_run(t)
-                run_start_block = block
-                run_len = 1
-            pending_victims.extend(self.mm.touch_file(key))
-        t = flush_run(t)
-        t = self._dispose_victims(pending_victims, t)
-        return t, hits
-
-    def _write_file_pages(
-        self, fs: FFS, disk: Disk, inode: Inode, offset: int, nbytes: int, t: int
-    ) -> int:
-        """Dirty the pages covering [offset, offset+nbytes) through the cache."""
-        page = self.config.page_size
-        first = offset // page
-        last = (offset + nbytes - 1) // page
-        old_pages = len(inode.blocks)
-        fs.grow_to_size(inode, offset + nbytes)
-        fs.rewrite_pages(inode, first, min(last, old_pages - 1))
-        victims: List[PageEntry] = []
-        for index in range(first, last + 1):
-            key = FileKey(fs.fs_id, inode.ino, index)
-            covers_whole = offset <= index * page and (index + 1) * page <= offset + nbytes
-            needs_rmw = (
-                not covers_whole
-                and index < old_pages
-                and not self.mm.file_cached(key)
-            )
-            if needs_rmw:
-                t, _ = self._read_file_pages(fs, disk, inode, [index], t)
-            victims.extend(self.mm.touch_file(key, dirty=True))
-        return self._dispose_victims(victims, t)
-
-    def _dispose_victims(self, victims: List[PageEntry], t: int) -> int:
-        """Perform the page daemon's writebacks; returns the new time.
-
-        Anonymous victims already have swap slots assigned; contiguous
-        slots become one clustered swap write.  Dirty file/meta pages are
-        written back to their home blocks, clustered where contiguous.
-        """
-        if not victims:
-            return t
-        swap_slots: List[int] = []
-        file_writes: Dict[int, List[int]] = {}
-        for entry in victims:
-            key = entry.key
-            if isinstance(key, AnonKey):
-                slot = self.mm.swap.slot_of(key)
-                if slot is not None:
-                    swap_slots.append(slot)
-            elif isinstance(key, FileKey) and entry.dirty:
-                fs = self._fs_by_id.get(key.fs_id)
-                if fs is None:
-                    continue
-                inode = fs.inodes.get(key.ino)
-                if inode is None or key.index >= len(inode.blocks):
-                    continue
-                file_writes.setdefault(key.fs_id, []).append(inode.blocks[key.index])
-            elif isinstance(key, MetaKey) and entry.dirty:
-                file_writes.setdefault(key.fs_id, []).append(key.block)
-        t = self._write_block_runs(self.swap_disk, swap_slots, t)
-        for fs_id, blocks in file_writes.items():
-            t = self._write_block_runs(self._disk_of_fs[fs_id], blocks, t)
-        return t
-
-    def _write_block_runs(self, disk: Disk, blocks: List[int], t: int) -> int:
-        """Write ``blocks`` back as clustered runs; returns the new time.
-
-        Sorts the list in place exactly once per flush (the old code
-        built a fresh ``sorted()`` copy at every call site, which showed
-        up in the writeback/swap profiles).
-        """
-        if not blocks:
-            return t
-        blocks.sort()
-        page = self.config.page_size
-        for start, length in _runs(blocks):
-            _s, t = disk.access(start, length, t, page, write=True)
-        return t
-
-    def _throttle_dirty(self, t: int) -> int:
-        """bdflush-style write throttling (charged to the writer).
-
-        When dirty file pages exceed their share of memory, flush the
-        oldest down to the target and demote them so streaming writers
-        recycle their own pages instead of evicting read caches.
-        """
-        cfg = self.config
-        capacity = self.mm.file_capacity_pages
-        limit = int(capacity * cfg.dirty_limit_frac)
-        if self.mm.dirty_file_pages <= limit:
-            return t
-        target = int(capacity * cfg.dirty_flush_target_frac)
-        need = self.mm.dirty_file_pages - target
-        keys = self.mm.oldest_dirty_file_keys(need)
-        writes: Dict[int, List[int]] = {}
-        for key in keys:
-            if isinstance(key, FileKey):
-                fs = self._fs_by_id.get(key.fs_id)
-                inode = fs.inodes.get(key.ino) if fs else None
-                if inode is None or key.index >= len(inode.blocks):
-                    self.mm.writeback_complete(key)
-                    continue
-                writes.setdefault(key.fs_id, []).append(inode.blocks[key.index])
-            elif isinstance(key, MetaKey):
-                writes.setdefault(key.fs_id, []).append(key.block)
-            self.mm.writeback_complete(key)
-        for fs_id, blocks in writes.items():
-            t = self._write_block_runs(self._disk_of_fs[fs_id], blocks, t)
-        return t
-
-    def _drop_file_cache(self, fs: FFS, inode: Inode) -> None:
-        for index in range(len(inode.blocks)):
-            self.mm.drop_file_page(FileKey(fs.fs_id, inode.ino, index))
-
-    # ==================================================================
-    # Syscall handlers (each returns (value, duration) or BLOCK)
-    # ==================================================================
-    def _sys_open(self, process: Process, path: str):
-        t0 = self.clock.now
-        t = t0 + self.config.syscall_overhead_ns
-        fs, disk, inode, t = self._resolve(process, path, t)
-        if inode.is_dir:
-            raise IsADirectory(f"{path!r} is a directory")
-        entry = process.new_fd("file", fs_name=PathName.parse(path).mount, ino=inode.ino)
-        self._open_count[(fs.fs_id, inode.ino)] = (
-            self._open_count.get((fs.fs_id, inode.ino), 0) + 1
-        )
-        return entry.fd, t - t0
-
-    def _sys_create(self, process: Process, path: str):
-        t0 = self.clock.now
-        t = t0 + self.config.syscall_overhead_ns
-        fs, disk, parent, name, t = self._resolve_parent(process, path, t)
-        inode = fs.create(parent.ino, name, FileKind.FILE, self.clock.now)
-        t = self._dirty_meta(fs, inode.ino, t)
-        t = self._dirty_meta(fs, parent.ino, t)
-        t = self._dirty_dir_data(fs, parent.ino, t)
-        entry = process.new_fd("file", fs_name=PathName.parse(path).mount, ino=inode.ino)
-        self._open_count[(fs.fs_id, inode.ino)] = (
-            self._open_count.get((fs.fs_id, inode.ino), 0) + 1
-        )
-        return entry.fd, t - t0
-
-    def _dirty_meta(self, fs: FFS, ino: int, t: int) -> int:
-        key = MetaKey(fs.fs_id, fs.inode_table_block(ino))
-        victims = self.mm.touch_file(key, dirty=True)
-        return self._dispose_victims(victims, t)
-
-    def _dirty_dir_data(self, fs: FFS, dir_ino: int, t: int) -> int:
-        """Writing a directory entry leaves the directory's data cached."""
-        inode = fs.get_inode(dir_ino)
-        victims: List[PageEntry] = []
-        for index in range(len(inode.blocks)):
-            victims.extend(
-                self.mm.touch_file(FileKey(fs.fs_id, dir_ino, index), dirty=True)
-            )
-        return self._dispose_victims(victims, t)
-
-    def _sys_close(self, process: Process, fd: int):
-        entry = process.close_fd(fd)
-        self._release_fd(process, entry)
-        return None, self.config.syscall_overhead_ns
-
-    def _release_fd(self, process: Process, entry: OpenFile) -> None:
-        if entry.kind == "file":
-            fs, _ = self.mounts.filesystem(entry.fs_name)
-            key = (fs.fs_id, entry.ino)
-            count = self._open_count.get(key, 0) - 1
-            if count > 0:
-                self._open_count[key] = count
-            else:
-                self._open_count.pop(key, None)
-        elif entry.kind == "pipe_r" and entry.pipe is not None:
-            entry.pipe.readers -= 1
-            self._wake_all(entry.pipe.waiting_writers)
-        elif entry.kind == "pipe_w" and entry.pipe is not None:
-            entry.pipe.writers -= 1
-            self._wake_all(entry.pipe.waiting_readers)
-
-    def _file_of(self, entry: OpenFile) -> Tuple[FFS, Disk, Inode]:
-        fs, _disk_id = self.mounts.filesystem(entry.fs_name)
-        inode = fs.get_inode(entry.ino)
-        return fs, self._disk_of_fs[fs.fs_id], inode
-
-    def _sys_read(self, process: Process, fd: int, nbytes: int):
-        entry = process.lookup_fd(fd)
-        if entry.kind == "pipe_r":
-            return self._pipe_read(process, entry, nbytes)
-        if entry.kind != "file":
-            raise BadFileDescriptor(f"fd {fd} is not readable")
-        value, duration = self._do_read(process, entry, entry.pos, nbytes)
-        entry.pos += value.nbytes
-        return value, duration
-
-    def _sys_pread(self, process: Process, fd: int, offset: int, nbytes: int):
-        entry = process.lookup_fd(fd)
-        if entry.kind != "file":
-            raise BadFileDescriptor(f"fd {fd} does not support pread")
-        return self._do_read(process, entry, offset, nbytes)
-
-    def _do_read(self, process: Process, entry: OpenFile, offset: int, nbytes: int):
-        t0 = self.clock.now
-        value, finish = self._pread_at(entry, offset, nbytes, t0)
-        return value, finish - t0
-
-    def _pread_at(
-        self, entry: OpenFile, offset: int, nbytes: int, start: int
-    ) -> Tuple[ReadResult, int]:
-        """One positional read beginning at simulated time ``start``.
-
-        Returns (ReadResult, finish_time).  Shared by the sequential
-        read path (where ``start`` is the clock) and ``pread_batch``
-        (where ``start`` is the cumulative batch time), so both charge
-        bit-identical simulated time per probe.
-        """
-        if offset < 0 or nbytes < 0:
-            raise InvalidArgument("negative offset or length")
-        t = start + self.config.syscall_overhead_ns
-        fs, disk, inode = self._file_of(entry)
-        effective = min(nbytes, max(inode.size - offset, 0))
-        if effective == 0:
-            return ReadResult(0), t
-        page = self.config.page_size
-        first = offset // page
-        last = (offset + effective - 1) // page
-        t, _hits = self._read_file_pages(fs, disk, inode, range(first, last + 1), t)
-        t += self.config.page_copy_ns(effective)
-        inode.stamp(start, access=True)
-        data = None
-        stored = self.contents.get((fs.fs_id, inode.ino))
-        if stored is not None:
-            data = bytes(stored[offset : offset + effective])
-        return ReadResult(effective, data), t
-
-    def _sys_pread_batch(self, process: Process, fd: int, probes):
-        """Vectored pread: the whole probe list in one dispatch.
-
-        Each probe is charged exactly the simulated time an individual
-        ``pread`` would have paid (including per-call overhead), walking
-        the same cache and disk state in the same order, so the timing
-        channel the ICLs read is bit-for-bit identical to the sequential
-        path — only the host-side dispatch cost is amortized.
-        """
-        entry = process.lookup_fd(fd)
-        if entry.kind != "file":
-            raise BadFileDescriptor(f"fd {fd} does not support pread")
-        t0 = self.clock.now
-        t = t0
-        results: List[ProbeRead] = []
-        append = results.append
-        # No other process can run mid-batch, so the file identity, its
-        # size, and its stored contents are loop invariants; per-probe
-        # constants (overhead, copy cost per length) are hoisted too.
-        # The fast branch below covers the ICLs' bread and butter — a
-        # single-page probe hitting the cache — and reproduces the exact
-        # effects of ``_pread_at`` for that case: one clean policy touch
-        # and ``overhead + page_copy`` of simulated time.  Everything
-        # else (miss, page-spanning, short or invalid reads) falls back
-        # to ``_pread_at`` itself.
-        fs, _disk, inode = self._file_of(entry)
-        fs_id = fs.fs_id
-        ino = inode.ino
-        size = inode.size
-        stored = self.contents.get((fs_id, ino))
-        cfg = self.config
-        page = cfg.page_size
-        overhead = cfg.syscall_overhead_ns
-        touch_cached = self.mm.touch_file_cached
-        copy_ns: Dict[int, int] = {}
-        # ``_pread_at`` stamps the inode atime per non-empty read with
-        # that probe's start time; only the last stamp survives, so the
-        # fast path defers it.  A fallback probe stamps internally
-        # (superseding anything pending), hence the reset.
-        pending_stamp = None
-        for offset, nbytes in probes:
-            if 0 <= offset < size and nbytes > 0:
-                end = offset + nbytes
-                effective = nbytes if end <= size else size - offset
-                first = offset // page
-                if (
-                    first == (offset + effective - 1) // page
-                    and touch_cached(FileKey(fs_id, ino, first))
-                ):
-                    copy = copy_ns.get(effective)
-                    if copy is None:
-                        copy = cfg.page_copy_ns(effective)
-                        copy_ns[effective] = copy
-                    elapsed = overhead + copy
-                    data = (
-                        bytes(stored[offset : offset + effective])
-                        if stored is not None
-                        else None
-                    )
-                    append(ProbeRead(effective, elapsed, data))
-                    pending_stamp = t
-                    t += elapsed
-                    continue
-            value, finish = self._pread_at(entry, offset, nbytes, t)
-            append(ProbeRead(value.nbytes, finish - t, value.data))
-            if value.nbytes > 0:
-                pending_stamp = None
-            t = finish
-        if pending_stamp is not None:
-            inode.stamp(pending_stamp, access=True)
-        return results, t - t0
-
-    def _sys_stat_batch(self, process: Process, paths):
-        """Vectored stat: resolve every path in one dispatch.
-
-        Resolution warms the metadata cache cumulatively, exactly as a
-        sequence of ``stat`` calls would, and each entry carries that
-        call's simulated elapsed time.  A missing path fails the whole
-        batch (the completed walks' cache effects remain, as with any
-        partially-failed vectored call).
-        """
-        t0 = self.clock.now
-        t = t0
-        results: List[ProbeStat] = []
-        for path in paths:
-            start = t
-            t += self.config.syscall_overhead_ns
-            fs, disk, inode, t = self._resolve(process, path, t)
-            results.append(ProbeStat(StatResult.from_inode(inode), t - start))
-        return results, t - t0
-
-    def _sys_write(self, process: Process, fd: int, data):
-        entry = process.lookup_fd(fd)
-        if entry.kind == "pipe_w":
-            return self._pipe_write(process, entry, data)
-        if entry.kind != "file":
-            raise BadFileDescriptor(f"fd {fd} is not writable")
-        value, duration = self._do_write(process, entry, entry.pos, data)
-        entry.pos += value
-        return value, duration
-
-    def _sys_pwrite(self, process: Process, fd: int, offset: int, data):
-        entry = process.lookup_fd(fd)
-        if entry.kind != "file":
-            raise BadFileDescriptor(f"fd {fd} does not support pwrite")
-        return self._do_write(process, entry, offset, data)
-
-    def _do_write(self, process: Process, entry: OpenFile, offset: int, data):
-        payload = data if isinstance(data, (bytes, bytearray)) else None
-        nbytes = len(payload) if payload is not None else int(data)
-        if offset < 0 or nbytes < 0:
-            raise InvalidArgument("negative offset or length")
-        if nbytes == 0:
-            return 0, self.config.syscall_overhead_ns
-        t0 = self.clock.now
-        t = t0 + self.config.syscall_overhead_ns
-        fs, disk, inode = self._file_of(entry)
-        t = self._write_file_pages(fs, disk, inode, offset, nbytes, t)
-        t += self.config.page_copy_ns(nbytes)
-        t = self._dirty_meta(fs, inode.ino, t)
-        t = self._throttle_dirty(t)
-        inode.stamp(self.clock.now, modify=True, change=True)
-        if payload is not None:
-            stored = self.contents.setdefault((fs.fs_id, inode.ino), bytearray())
-            if len(stored) < offset:
-                stored.extend(b"\x00" * (offset - len(stored)))
-            stored[offset : offset + nbytes] = payload
-        return nbytes, t - t0
-
-    def _sys_seek(self, process: Process, fd: int, offset: int):
-        entry = process.lookup_fd(fd)
-        if entry.kind != "file":
-            raise BadFileDescriptor(f"fd {fd} does not support seek")
-        if offset < 0:
-            raise InvalidArgument("negative seek offset")
-        entry.pos = offset
-        return offset, self.config.syscall_overhead_ns
-
-    def _sys_fsync(self, process: Process, fd: int):
-        entry = process.lookup_fd(fd)
-        if entry.kind != "file":
-            raise BadFileDescriptor(f"fd {fd} does not support fsync")
-        t0 = self.clock.now
-        t = t0 + self.config.syscall_overhead_ns
-        fs, disk, inode = self._file_of(entry)
-        dirty_blocks: List[int] = []
-        for index in range(len(inode.blocks)):
-            key = FileKey(fs.fs_id, inode.ino, index)
-            if self.mm.file_page_dirty(key):
-                dirty_blocks.append(inode.blocks[index])
-                self.mm.mark_file_clean(key)
-        count = len(dirty_blocks)
-        t = self._write_block_runs(disk, dirty_blocks, t)
-        return count, t - t0
-
-    def _sys_stat(self, process: Process, path: str):
-        t0 = self.clock.now
-        t = t0 + self.config.syscall_overhead_ns
-        fs, disk, inode, t = self._resolve(process, path, t)
-        return StatResult.from_inode(inode), t - t0
-
-    def _sys_fstat(self, process: Process, fd: int):
-        entry = process.lookup_fd(fd)
-        if entry.kind != "file":
-            raise BadFileDescriptor(f"fd {fd} does not support fstat")
-        fs, disk, inode = self._file_of(entry)
-        t = self.config.syscall_overhead_ns
-        return StatResult.from_inode(inode), t
-
-    def _sys_mkdir(self, process: Process, path: str):
-        t0 = self.clock.now
-        t = t0 + self.config.syscall_overhead_ns
-        fs, disk, parent, name, t = self._resolve_parent(process, path, t)
-        inode = fs.create(parent.ino, name, FileKind.DIRECTORY, self.clock.now)
-        t = self._dirty_meta(fs, inode.ino, t)
-        t = self._dirty_meta(fs, parent.ino, t)
-        t = self._dirty_dir_data(fs, parent.ino, t)
-        t = self._dirty_dir_data(fs, inode.ino, t)
-        return None, t - t0
-
-    def _sys_rmdir(self, process: Process, path: str):
-        t0 = self.clock.now
-        t = t0 + self.config.syscall_overhead_ns
-        fs, disk, parent, name, t = self._resolve_parent(process, path, t)
-        dead, _freed = fs.rmdir(parent.ino, name, self.clock.now)
-        self._drop_cached_inode(fs, dead)
-        t = self._dirty_meta(fs, parent.ino, t)
-        t = self._dirty_dir_data(fs, parent.ino, t)
-        return None, t - t0
-
-    def _sys_unlink(self, process: Process, path: str):
-        t0 = self.clock.now
-        t = t0 + self.config.syscall_overhead_ns
-        fs, disk, parent, name, t = self._resolve_parent(process, path, t)
-        ino = fs.get_directory(parent.ino).lookup(name)
-        if self._open_count.get((fs.fs_id, ino), 0) > 0:
-            raise InvalidArgument(f"{path!r} is still open; close it before unlink")
-        dead, _freed = fs.unlink(parent.ino, name, self.clock.now)
-        self._drop_cached_inode(fs, dead)
-        self.contents.pop((fs.fs_id, dead.ino), None)
-        t = self._dirty_meta(fs, parent.ino, t)
-        t = self._dirty_dir_data(fs, parent.ino, t)
-        return None, t - t0
-
-    def _drop_cached_inode(self, fs: FFS, dead: Inode) -> None:
-        npages = max(len(dead.blocks), dead.npages(self.config.page_size))
-        for index in range(npages):
-            self.mm.drop_file_page(FileKey(fs.fs_id, dead.ino, index))
-
-    def _sys_rename(self, process: Process, old: str, new: str):
-        t0 = self.clock.now
-        t = t0 + self.config.syscall_overhead_ns
-        old_parsed = PathName.parse(old)
-        new_parsed = PathName.parse(new)
-        if old_parsed.mount != new_parsed.mount:
-            raise InvalidArgument("rename cannot cross filesystems")
-        fs, disk, old_parent, old_name, t = self._resolve_parent(process, old, t)
-        _fs, _disk, new_parent, new_name, t = self._resolve_parent(process, new, t)
-        fs.rename(old_parent.ino, old_name, new_parent.ino, new_name, self.clock.now)
-        t = self._dirty_meta(fs, old_parent.ino, t)
-        t = self._dirty_meta(fs, new_parent.ino, t)
-        t = self._dirty_dir_data(fs, old_parent.ino, t)
-        t = self._dirty_dir_data(fs, new_parent.ino, t)
-        return None, t - t0
-
-    def _sys_readdir(self, process: Process, path: str):
-        t0 = self.clock.now
-        t = t0 + self.config.syscall_overhead_ns
-        parsed = PathName.parse(path)
-        fs, disk, inode, t = self._resolve(process, path, t)
-        if not inode.is_dir:
-            raise NotADirectory(f"{path!r} is not a directory")
-        t = self._read_dir_pages(fs, disk, inode.ino, t)
-        names = fs.get_directory(inode.ino).names()
-        t += self.config.page_copy_ns(len(names) * DIRENT_BYTES)
-        return names, t - t0
-
-    def _sys_utimes(self, process: Process, path: str, atime_s: int, mtime_s: int):
-        t0 = self.clock.now
-        t = t0 + self.config.syscall_overhead_ns
-        fs, disk, inode, t = self._resolve(process, path, t)
-        inode.atime = atime_s
-        inode.mtime = mtime_s
-        t = self._dirty_meta(fs, inode.ino, t)
-        return None, t - t0
-
-    # ------------------------------------------------------------------
-    # Memory syscalls
-    # ------------------------------------------------------------------
-    def _sys_vm_alloc(self, process: Process, nbytes: int, label: str = ""):
-        if nbytes <= 0:
-            raise InvalidArgument("vm_alloc needs a positive size")
-        npages = -(-nbytes // self.config.page_size)
-        region = process.address_space.allocate(npages, label)
-        return region.region_id, self.config.syscall_overhead_ns
-
-    def _sys_vm_free(self, process: Process, region_id: int):
-        space = process.address_space
-        region = space.region(region_id)
-        touched = [
-            AnonKey(process.pid, page)
-            for page in region.page_numbers()
-            if page in space.touched
-        ]
-        self.mm.free_anon_pages(process.pid, touched)
-        space.free(region_id)
-        return None, self.config.syscall_overhead_ns
-
-    def _touch_one(self, process: Process, region_id: int, page_index: int, t: int) -> int:
-        space = process.address_space
-        region = space.region(region_id)
-        if not 0 <= page_index < region.npages:
-            raise InvalidArgument(
-                f"page {page_index} outside region of {region.npages} pages"
-            )
-        page = region.base_page + page_index
-        key = AnonKey(process.pid, page)
-        touched_before = page in space.touched
-        fault = self.mm.anon_fault(key, touched_before)
-        space.touched.add(page)
-        cfg = self.config
-        if fault.kind is FaultKind.RESIDENT:
-            return t + cfg.mem_touch_ns
-        t += cfg.fault_overhead_ns
-        t = self._dispose_victims(fault.evictions, t)
-        if fault.kind is FaultKind.ZERO_FILL:
-            return t + cfg.page_zero_ns
-        _s, t = self.swap_disk.access(
-            fault.swapin_slot, 1, t, cfg.page_size, write=False
-        )
-        return t + cfg.mem_touch_ns
-
-    def _sys_touch(self, process: Process, region_id: int, page_index: int):
-        t0 = self.clock.now
-        t = self._touch_one(process, region_id, page_index, t0)
-        return None, t - t0
-
-    def _sys_touch_range(self, process: Process, region_id: int, start_page: int, npages: int):
-        if npages <= 0:
-            raise InvalidArgument("touch_range needs a positive page count")
-        t0 = self.clock.now
-        t = t0
-        per_page: List[int] = []
-        for index in range(start_page, start_page + npages):
-            before = t
-            t = self._touch_one(process, region_id, index, t)
-            per_page.append(t - before)
-        return per_page, t - t0
-
-    def _sys_touch_batch(
-        self,
-        process: Process,
-        region_id: int,
-        start_page: int,
-        npages: int,
-        stride: int = 1,
-        threshold_ns: Optional[int] = None,
-        slow_count: int = 1,
-        slow_window: int = 1,
-    ):
-        """Vectored page touches with MAC's windowed early-stop predicate.
-
-        Without ``threshold_ns`` this is ``touch_range`` with a stride.
-        With it, touching stops right after the page whose slow
-        observation is the ``slow_count``-th within ``slow_window`` page
-        indexes — so an aborted batch leaves the memory pool in exactly
-        the state the equivalent sequential touch loop (which aborts at
-        the same page) would have left it.
-        """
-        if npages <= 0:
-            raise InvalidArgument("touch_batch needs a positive page count")
-        if stride <= 0:
-            raise InvalidArgument("touch_batch needs a positive stride")
-        if slow_count < 1 or slow_window < 1:
-            raise InvalidArgument("need slow_count >= 1 and slow_window >= 1")
-        t0 = self.clock.now
-        t = t0
-        times: List[int] = []
-        append = times.append
-        slow_marks: List[int] = []
-        stopped = False
-        # Fast path for the resident case (MAC's verify loops re-touch
-        # pages that are overwhelmingly still resident): skip the
-        # per-page region lookup/bounds check — validated once for the
-        # whole strided range here — and the FaultResult allocation.
-        # Any fault that needs real work falls back to ``_touch_one``.
-        space = process.address_space
-        region = space.region(region_id)
-        last_index = start_page + ((npages - 1) // stride) * stride
-        in_bounds = 0 <= start_page and last_index < region.npages
-        base_page = region.base_page
-        touched = space.touched
-        resident_touch = self.mm.anon_fault_resident
-        mem_touch_ns = self.config.mem_touch_ns
-        pid = process.pid
-        for index in range(start_page, start_page + npages, stride):
-            before = t
-            page = base_page + index
-            if in_bounds and page in touched and resident_touch(AnonKey(pid, page)):
-                t += mem_touch_ns
-                elapsed = mem_touch_ns
-            else:
-                t = self._touch_one(process, region_id, index, t)
-                elapsed = t - before
-            append(elapsed)
-            if threshold_ns is not None and elapsed > threshold_ns:
-                slow_marks.append(index)
-                recent = sum(1 for m in slow_marks if index - m < slow_window)
-                if recent >= slow_count:
-                    stopped = True
-                    break
-        return TouchBatchResult(tuple(times), stopped), t - t0
-
-    # ------------------------------------------------------------------
-    # Time and CPU
-    # ------------------------------------------------------------------
     def _sys_gettime(self, process: Process):
         overhead = self.config.gettime_overhead_ns
         return self.clock.now + overhead, overhead
@@ -977,111 +312,6 @@ class Kernel:
         if ns < 0:
             raise InvalidArgument("negative sleep time")
         return None, ns
-
-    # ------------------------------------------------------------------
-    # Processes and pipes
-    # ------------------------------------------------------------------
-    def _sys_getpid(self, process: Process):
-        return process.pid, self.config.gettime_overhead_ns
-
-    def _sys_spawn(self, process: Process, gen: Generator, name: str = ""):
-        child = self.spawn(gen, name)
-        return child.pid, self.config.syscall_overhead_ns
-
-    def _sys_waitpid(self, process: Process, pid: int):
-        target = self.scheduler.lookup(pid)
-        if target is None:
-            raise InvalidArgument(f"no such process {pid}")
-        if target.done:
-            return target.result, self.config.syscall_overhead_ns
-        if process.pid not in target.waiters:
-            target.waiters.append(process.pid)
-        return BLOCK
-
-    def make_pipe(self) -> PipeBuffer:
-        """Create an unattached pipe for host-side pipeline wiring.
-
-        The shell equivalent: create the pipe, then hand each end to a
-        process with :meth:`share_pipe_end` before spawning it.
-        """
-        pipe = PipeBuffer(self._next_pipe_id)
-        self._next_pipe_id += 1
-        pipe.readers = 0
-        pipe.writers = 0
-        return pipe
-
-    def _sys_pipe(self, process: Process):
-        pipe = PipeBuffer(self._next_pipe_id)
-        self._next_pipe_id += 1
-        r = process.new_fd("pipe_r", pipe=pipe)
-        w = process.new_fd("pipe_w", pipe=pipe)
-        return (r.fd, w.fd), self.config.syscall_overhead_ns
-
-    def share_pipe_end(self, process: Process, pipe: PipeBuffer, kind: str) -> int:
-        """Give ``process`` a new descriptor on an existing pipe end.
-
-        Used by spawn helpers that wire parent/child pipelines together
-        (the counterpart of fd inheritance across fork/exec).
-        """
-        if kind == "pipe_r":
-            pipe.readers += 1
-        elif kind == "pipe_w":
-            pipe.writers += 1
-        else:
-            raise InvalidArgument(f"bad pipe end {kind!r}")
-        return process.new_fd(kind, pipe=pipe).fd
-
-    def _pipe_write(self, process: Process, entry: OpenFile, data):
-        pipe = entry.pipe
-        nbytes = len(data) if isinstance(data, (bytes, bytearray)) else int(data)
-        if nbytes <= 0:
-            raise InvalidArgument("pipe write needs a positive length")
-        if pipe.read_closed:
-            raise BadFileDescriptor("pipe has no readers (EPIPE)")
-        if pipe.space == 0:
-            if process.pid not in pipe.waiting_writers:
-                pipe.waiting_writers.append(process.pid)
-            return BLOCK
-        take = min(nbytes, pipe.space)
-        pipe.buffered += take
-        pipe.total_through += take
-        self._wake_all(pipe.waiting_readers)
-        duration = self.config.syscall_overhead_ns + self.config.page_copy_ns(take)
-        return take, duration
-
-    def _pipe_read(self, process: Process, entry: OpenFile, nbytes: int):
-        pipe = entry.pipe
-        if nbytes <= 0:
-            raise InvalidArgument("pipe read needs a positive length")
-        if pipe.buffered == 0:
-            if pipe.write_closed:
-                return ReadResult(0), self.config.syscall_overhead_ns
-            if process.pid not in pipe.waiting_readers:
-                pipe.waiting_readers.append(process.pid)
-            return BLOCK
-        take = min(nbytes, pipe.buffered)
-        pipe.buffered -= take
-        self._wake_all(pipe.waiting_writers)
-        duration = self.config.syscall_overhead_ns + self.config.page_copy_ns(take)
-        return ReadResult(take), duration
-
-
-def _runs(sorted_values: List[int]) -> Iterable[Tuple[int, int]]:
-    """Collapse a sorted int list into (start, length) contiguous runs."""
-    start = None
-    length = 0
-    for value in sorted_values:
-        if start is not None and value == start + length:
-            length += 1
-        elif start is not None and value == start + length - 1:
-            continue  # duplicate
-        else:
-            if start is not None:
-                yield start, length
-            start = value
-            length = 1
-    if start is not None:
-        yield start, length
 
 
 class Oracle:

@@ -1,0 +1,151 @@
+"""The process layer: process-control syscalls and pipe plumbing.
+
+Owns everything that is about *processes talking to the kernel about
+processes*: ``getpid`` / ``spawn`` / ``waitpid`` / ``pipe``, the pipe
+buffers themselves (blocking reads and writes, EPIPE/EOF semantics,
+waiter wake-ups), and the host-side pipeline wiring helpers
+(:meth:`make_pipe`, :meth:`share_pipe_end`) the kernel exposes.
+
+Process *lifecycle* — creating pids, the scheduler loop, exit cleanup —
+stays in :class:`~repro.sim.kernel.Kernel`; this layer is handed the
+kernel's ``spawn`` callable instead of reaching back into it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List
+
+from repro.sim.clock import Clock
+from repro.sim.config import MachineConfig
+from repro.sim.dispatch import BLOCK, SyscallTable
+from repro.sim.errors import BadFileDescriptor, InvalidArgument
+from repro.sim.proc.process import OpenFile, PipeBuffer, Process, ProcessState
+from repro.sim.proc.scheduler import Scheduler
+from repro.sim.syscalls import ReadResult
+
+
+class ProcLayer:
+    """Process-control syscalls plus pipe buffers and their waiters."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        clock: Clock,
+        scheduler: Scheduler,
+        spawn: Callable[[Generator, str], Process],
+    ) -> None:
+        self.config = config
+        self.clock = clock
+        self.scheduler = scheduler
+        self._spawn = spawn
+        self._next_pipe_id = 1
+
+    def register_syscalls(self, table: SyscallTable) -> None:
+        table.register("getpid", self.sys_getpid)
+        table.register("spawn", self.sys_spawn)
+        table.register("waitpid", self.sys_waitpid)
+        table.register("pipe", self.sys_pipe)
+
+    # ------------------------------------------------------------------
+    # Wake-ups
+    # ------------------------------------------------------------------
+    def wake_all(self, pids: List[int]) -> None:
+        """Ready every still-blocked pid in the list, then clear it."""
+        for pid in pids:
+            waiter = self.scheduler.processes.get(pid)
+            if waiter is not None and waiter.state is ProcessState.BLOCKED:
+                self.scheduler.make_ready(waiter, self.clock.now)
+        pids.clear()
+
+    # ------------------------------------------------------------------
+    # Process-control handlers
+    # ------------------------------------------------------------------
+    def sys_getpid(self, process: Process):
+        return process.pid, self.config.gettime_overhead_ns
+
+    def sys_spawn(self, process: Process, gen: Generator, name: str = ""):
+        child = self._spawn(gen, name)
+        return child.pid, self.config.syscall_overhead_ns
+
+    def sys_waitpid(self, process: Process, pid: int):
+        target = self.scheduler.lookup(pid)
+        if target is None:
+            raise InvalidArgument(f"no such process {pid}")
+        if target.done:
+            return target.result, self.config.syscall_overhead_ns
+        if process.pid not in target.waiters:
+            target.waiters.append(process.pid)
+        return BLOCK
+
+    # ------------------------------------------------------------------
+    # Pipes
+    # ------------------------------------------------------------------
+    def make_pipe(self) -> PipeBuffer:
+        """Create an unattached pipe for host-side pipeline wiring.
+
+        The shell equivalent: create the pipe, then hand each end to a
+        process with :meth:`share_pipe_end` before spawning it.
+        """
+        pipe = PipeBuffer(self._next_pipe_id)
+        self._next_pipe_id += 1
+        pipe.readers = 0
+        pipe.writers = 0
+        return pipe
+
+    def sys_pipe(self, process: Process):
+        pipe = PipeBuffer(self._next_pipe_id)
+        self._next_pipe_id += 1
+        r = process.new_fd("pipe_r", pipe=pipe)
+        w = process.new_fd("pipe_w", pipe=pipe)
+        return (r.fd, w.fd), self.config.syscall_overhead_ns
+
+    def share_pipe_end(self, process: Process, pipe: PipeBuffer, kind: str) -> int:
+        """Give ``process`` a new descriptor on an existing pipe end.
+
+        Used by spawn helpers that wire parent/child pipelines together
+        (the counterpart of fd inheritance across fork/exec).
+        """
+        if kind == "pipe_r":
+            pipe.readers += 1
+        elif kind == "pipe_w":
+            pipe.writers += 1
+        else:
+            raise InvalidArgument(f"bad pipe end {kind!r}")
+        return process.new_fd(kind, pipe=pipe).fd
+
+    def pipe_write(self, process: Process, entry: OpenFile, data):
+        pipe = entry.pipe
+        nbytes = len(data) if isinstance(data, (bytes, bytearray)) else int(data)
+        if nbytes <= 0:
+            raise InvalidArgument("pipe write needs a positive length")
+        if pipe.read_closed:
+            raise BadFileDescriptor("pipe has no readers (EPIPE)")
+        if pipe.space == 0:
+            if process.pid not in pipe.waiting_writers:
+                pipe.waiting_writers.append(process.pid)
+            return BLOCK
+        take = min(nbytes, pipe.space)
+        pipe.buffered += take
+        pipe.total_through += take
+        self.wake_all(pipe.waiting_readers)
+        duration = self.config.syscall_overhead_ns + self.config.page_copy_ns(take)
+        return take, duration
+
+    def pipe_read(self, process: Process, entry: OpenFile, nbytes: int):
+        pipe = entry.pipe
+        if nbytes <= 0:
+            raise InvalidArgument("pipe read needs a positive length")
+        if pipe.buffered == 0:
+            if pipe.write_closed:
+                return ReadResult(0), self.config.syscall_overhead_ns
+            if process.pid not in pipe.waiting_readers:
+                pipe.waiting_readers.append(process.pid)
+            return BLOCK
+        take = min(nbytes, pipe.buffered)
+        pipe.buffered -= take
+        self.wake_all(pipe.waiting_writers)
+        duration = self.config.syscall_overhead_ns + self.config.page_copy_ns(take)
+        return ReadResult(take), duration
+
+
+__all__ = ["ProcLayer"]

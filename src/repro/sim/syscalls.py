@@ -20,7 +20,7 @@ Sub-routines compose with ``yield from`` and can return values via
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional, Sequence, Tuple, Union
 
 

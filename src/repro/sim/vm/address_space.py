@@ -10,7 +10,7 @@ replacement competition happens.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, Set
 
 from repro.sim.errors import InvalidArgument

@@ -1,0 +1,187 @@
+"""The VM fault layer: anonymous-memory syscalls and fault servicing.
+
+Sits between the memory syscalls (``vm_alloc`` / ``vm_free`` /
+``touch`` / ``touch_range`` / ``touch_batch``) and the
+:class:`~repro.sim.vm.physmem.MemoryManager` below.  The memory manager
+classifies each touch (resident / zero-fill / swap-in) and nominates
+eviction victims; this layer turns the classification into simulated
+time — fault overhead, page zeroing, swap-in I/O — and routes victim
+writebacks through the
+:class:`~repro.sim.pagecache.PageCacheManager`, exactly as the file
+side does, so anonymous and file-backed memory share one writeback
+path on unified-VM platforms.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sim.cache.base import AnonKey
+from repro.sim.clock import Clock
+from repro.sim.config import MachineConfig
+from repro.sim.disk import Disk
+from repro.sim.dispatch import SyscallTable
+from repro.sim.errors import InvalidArgument
+from repro.sim.pagecache import PageCacheManager
+from repro.sim.proc.process import Process
+from repro.sim.syscalls import TouchBatchResult
+from repro.sim.vm.physmem import FaultKind, MemoryManager
+
+
+class VMLayer:
+    """Anonymous-memory syscalls: allocation, touches, batched touches."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        clock: Clock,
+        mm: MemoryManager,
+        swap_disk: Disk,
+        page_cache: PageCacheManager,
+    ) -> None:
+        self.config = config
+        self.clock = clock
+        self.mm = mm
+        self.swap_disk = swap_disk
+        self.page_cache = page_cache
+
+    def register_syscalls(self, table: SyscallTable) -> None:
+        table.register("vm_alloc", self.sys_vm_alloc)
+        table.register("vm_free", self.sys_vm_free)
+        table.register("touch", self.sys_touch)
+        table.register("touch_range", self.sys_touch_range)
+        table.register("touch_batch", self.sys_touch_batch)
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def sys_vm_alloc(self, process: Process, nbytes: int, label: str = ""):
+        if nbytes <= 0:
+            raise InvalidArgument("vm_alloc needs a positive size")
+        npages = -(-nbytes // self.config.page_size)
+        region = process.address_space.allocate(npages, label)
+        return region.region_id, self.config.syscall_overhead_ns
+
+    def sys_vm_free(self, process: Process, region_id: int):
+        space = process.address_space
+        region = space.region(region_id)
+        touched = [
+            AnonKey(process.pid, page)
+            for page in region.page_numbers()
+            if page in space.touched
+        ]
+        self.mm.free_anon_pages(process.pid, touched)
+        space.free(region_id)
+        return None, self.config.syscall_overhead_ns
+
+    # ------------------------------------------------------------------
+    # Touches
+    # ------------------------------------------------------------------
+    def touch_one(self, process: Process, region_id: int, page_index: int, t: int) -> int:
+        """Service one page touch starting at time ``t``; returns new time."""
+        space = process.address_space
+        region = space.region(region_id)
+        if not 0 <= page_index < region.npages:
+            raise InvalidArgument(
+                f"page {page_index} outside region of {region.npages} pages"
+            )
+        page = region.base_page + page_index
+        key = AnonKey(process.pid, page)
+        touched_before = page in space.touched
+        fault = self.mm.anon_fault(key, touched_before)
+        space.touched.add(page)
+        cfg = self.config
+        if fault.kind is FaultKind.RESIDENT:
+            return t + cfg.mem_touch_ns
+        t += cfg.fault_overhead_ns
+        t = self.page_cache.dispose_victims(fault.evictions, t)
+        if fault.kind is FaultKind.ZERO_FILL:
+            return t + cfg.page_zero_ns
+        _s, t = self.swap_disk.access(
+            fault.swapin_slot, 1, t, cfg.page_size, write=False
+        )
+        return t + cfg.mem_touch_ns
+
+    def sys_touch(self, process: Process, region_id: int, page_index: int):
+        t0 = self.clock.now
+        t = self.touch_one(process, region_id, page_index, t0)
+        return None, t - t0
+
+    def sys_touch_range(self, process: Process, region_id: int, start_page: int, npages: int):
+        if npages <= 0:
+            raise InvalidArgument("touch_range needs a positive page count")
+        t0 = self.clock.now
+        t = t0
+        per_page: List[int] = []
+        for index in range(start_page, start_page + npages):
+            before = t
+            t = self.touch_one(process, region_id, index, t)
+            per_page.append(t - before)
+        return per_page, t - t0
+
+    def sys_touch_batch(
+        self,
+        process: Process,
+        region_id: int,
+        start_page: int,
+        npages: int,
+        stride: int = 1,
+        threshold_ns: Optional[int] = None,
+        slow_count: int = 1,
+        slow_window: int = 1,
+    ):
+        """Vectored page touches with MAC's windowed early-stop predicate.
+
+        Without ``threshold_ns`` this is ``touch_range`` with a stride.
+        With it, touching stops right after the page whose slow
+        observation is the ``slow_count``-th within ``slow_window`` page
+        indexes — so an aborted batch leaves the memory pool in exactly
+        the state the equivalent sequential touch loop (which aborts at
+        the same page) would have left it.
+        """
+        if npages <= 0:
+            raise InvalidArgument("touch_batch needs a positive page count")
+        if stride <= 0:
+            raise InvalidArgument("touch_batch needs a positive stride")
+        if slow_count < 1 or slow_window < 1:
+            raise InvalidArgument("need slow_count >= 1 and slow_window >= 1")
+        t0 = self.clock.now
+        t = t0
+        times: List[int] = []
+        append = times.append
+        slow_marks: List[int] = []
+        stopped = False
+        # Fast path for the resident case (MAC's verify loops re-touch
+        # pages that are overwhelmingly still resident): skip the
+        # per-page region lookup/bounds check — validated once for the
+        # whole strided range here — and the FaultResult allocation.
+        # Any fault that needs real work falls back to ``touch_one``.
+        space = process.address_space
+        region = space.region(region_id)
+        last_index = start_page + ((npages - 1) // stride) * stride
+        in_bounds = 0 <= start_page and last_index < region.npages
+        base_page = region.base_page
+        touched = space.touched
+        resident_touch = self.mm.anon_fault_resident
+        mem_touch_ns = self.config.mem_touch_ns
+        pid = process.pid
+        for index in range(start_page, start_page + npages, stride):
+            before = t
+            page = base_page + index
+            if in_bounds and page in touched and resident_touch(AnonKey(pid, page)):
+                t += mem_touch_ns
+                elapsed = mem_touch_ns
+            else:
+                t = self.touch_one(process, region_id, index, t)
+                elapsed = t - before
+            append(elapsed)
+            if threshold_ns is not None and elapsed > threshold_ns:
+                slow_marks.append(index)
+                recent = sum(1 for m in slow_marks if index - m < slow_window)
+                if recent >= slow_count:
+                    stopped = True
+                    break
+        return TouchBatchResult(tuple(times), stopped), t - t0
+
+
+__all__ = ["VMLayer"]

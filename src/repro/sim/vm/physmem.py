@@ -19,10 +19,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional
 
 from repro.obs import DISABLED, Observability
-from repro.sim.cache import make_policy
 from repro.sim.cache.base import (
     AnonKey,
     CachePolicy,
@@ -32,7 +31,6 @@ from repro.sim.cache.base import (
     PageEntry,
     PageKey,
 )
-from repro.sim.cache.lru import LRUPolicy
 from repro.sim.config import MachineConfig, PlatformSpec
 from repro.sim.errors import OutOfMemory
 from repro.sim.vm.pagedaemon import PageDaemonStats
@@ -74,23 +72,12 @@ class MemoryManager:
         self._anon_resident: Dict[int, int] = {}
         self._dirty_file_pages = 0
 
-        total = config.available_pages
-        if platform.fixed_file_cache_bytes is not None:
-            file_pages = platform.fixed_file_cache_bytes // config.page_size
-            if not 0 < file_pages < total:
-                raise ValueError("fixed file cache must fit inside available memory")
-            self._file_pool: CachePolicy = make_policy(platform.cache_policy)
-            self._file_capacity = file_pages
-            self._anon_pool: CachePolicy = LRUPolicy()
-            self._anon_capacity = total - file_pages
-            self._unified = False
-        else:
-            pool = make_policy(platform.cache_policy)
-            self._file_pool = pool
-            self._anon_pool = pool
-            self._file_capacity = total
-            self._anon_capacity = total
-            self._unified = True
+        plan = platform.make_pools(config)
+        self._file_pool: CachePolicy = plan.file_pool
+        self._file_capacity = plan.file_capacity_pages
+        self._anon_pool: CachePolicy = plan.anon_pool
+        self._anon_capacity = plan.anon_capacity_pages
+        self._unified = plan.unified
 
         # Pull-style sources: read only when metrics are collected.  In
         # unified mode one pool serves both roles, so "cache.file"

@@ -1,0 +1,230 @@
+"""Golden-trace regression: the refactor must not move simulated time.
+
+One small, fully deterministic FCCD-scan scenario runs per platform
+personality; everything the observability layer records — per-syscall
+counters and latency histograms, reclaim events, ICL probe spans, and
+the final simulated clock — is serialized to JSONL and diffed against a
+committed snapshot in ``tests/golden/``.
+
+Any change to simulated timing, cache behaviour, eviction order, or
+event emission shows up as a diff here, which is exactly the safety net
+the kernel-decomposition refactor runs under: bit-identical simulated
+time on all three platforms, proven line-by-line.
+
+Regenerate snapshots (only when a behaviour change is *intended*)::
+
+    PYTHONPATH=src python tests/test_golden_trace.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+from pathlib import Path
+from typing import Any, Dict, List
+
+import pytest
+
+from repro.icl.fccd import FCCD
+from repro.obs.export import event_records
+from repro.sim import Kernel, MachineConfig, PLATFORMS
+from repro.sim import syscalls as sc
+from repro.workloads.files import make_file
+
+KIB = 1024
+MIB = 1024 * 1024
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_SEED = 0x60
+
+
+PLATFORM_NAMES = tuple(sorted(PLATFORMS))
+
+
+def golden_config() -> MachineConfig:
+    """Large pages + a file bigger than every platform's file pool.
+
+    64 KiB pages keep the page count (and host runtime) small; 88 MiB
+    of available memory leaves room for netbsd15's fixed 64 MiB buffer
+    cache while the 120 MiB scan target overflows the file pool on all
+    three personalities, so reclaim fires everywhere.
+    """
+    return MachineConfig(
+        page_size=64 * KIB,
+        memory_bytes=96 * MIB,
+        kernel_reserved_bytes=8 * MIB,
+        data_disks=1,
+    )
+
+
+def run_scenario(platform_name: str) -> Kernel:
+    """The FCCD scan scenario: every kernel layer gets exercised.
+
+    Path resolution and metadata I/O (create/stat/readdir/rename/
+    unlink/utimes), data reads and writes through the page cache
+    (make_file, probe preads, sequential reads), reclaim (the scan
+    target overflows the file pool), anonymous memory and swap pressure
+    (touch sweeps), and pipes/process syscalls (a producer/consumer
+    pair) — all with deterministic seeds and sizes.
+    """
+    config = golden_config()
+    kernel = Kernel(config, platform=PLATFORMS[platform_name])
+    big = "/mnt0/big.dat"
+
+    kernel.run_process(make_file(big, 120 * MIB, sync=False), "setup")
+
+    def tree():
+        yield sc.mkdir("/mnt0/d")
+        for i in range(8):
+            fd = (yield sc.create(f"/mnt0/d/f{i}")).value
+            yield sc.write(fd, 96 * KIB)
+            yield sc.close(fd)
+
+    kernel.run_process(tree(), "tree")
+
+    fccd = FCCD(
+        rng=random.Random(GOLDEN_SEED),
+        access_unit_bytes=8 * MIB,
+        prediction_unit_bytes=512 * KIB,
+        obs=kernel.obs,
+    )
+    plan = kernel.run_process(fccd.plan_file(big), "probe")
+    assert plan.total_probes > 0
+
+    def reader():
+        fd = (yield sc.open(big)).value
+        for _ in range(16):
+            yield sc.read(fd, 1 * MIB)
+        yield sc.seek(fd, 0)
+        yield sc.pread(fd, 512 * KIB, 64 * KIB)
+        yield sc.close(fd)
+
+    kernel.run_process(reader(), "reader")
+
+    def sweep():
+        stats = (yield sc.stat_batch([f"/mnt0/d/f{i}" for i in range(8)])).value
+        names = (yield sc.readdir("/mnt0/d")).value
+        yield sc.rename("/mnt0/d/f0", "/mnt0/d/g0")
+        yield sc.unlink("/mnt0/d/f1")
+        yield sc.utimes("/mnt0/d/f2", 5, 7)
+        yield sc.fsync((yield sc.open("/mnt0/d/f2")).value)
+        return len(stats) + len(names)
+
+    kernel.run_process(sweep(), "sweep")
+
+    def vm():
+        region = (yield sc.vm_alloc(24 * MIB, "golden")).value
+        npages = 24 * MIB // (64 * KIB)
+        yield sc.touch_range(region, 0, npages)
+        yield sc.touch_batch(region, 0, npages, 2)
+        yield sc.touch_batch(region, 0, npages, 1, 10 * MIB, 1, 1)
+        yield sc.vm_free(region)
+
+    kernel.run_process(vm(), "vm")
+
+    pipe = kernel.make_pipe()
+
+    def producer(w):
+        for _ in range(4):
+            yield sc.write(w, 16 * KIB)
+            yield sc.compute(50_000)
+        yield sc.close(w)
+
+    def consumer(r):
+        total = 0
+        while True:
+            result = (yield sc.read(r, 16 * KIB)).value
+            if result.eof:
+                break
+            total += result.nbytes
+            yield sc.sleep(10_000)
+        yield sc.close(r)
+        return total
+
+    prod = kernel.spawn_with_pipe_ends(producer, [(pipe, "pipe_w")], "producer")
+
+    def parent(r):
+        yield sc.getpid()
+        total = yield from consumer(r)
+        done = (yield sc.waitpid(prod.pid)).value  # noqa: F841
+        return total
+
+    kernel.spawn_with_pipe_ends(parent, [(pipe, "pipe_r")], "parent")
+    kernel.run()
+    return kernel
+
+
+def trace_records(kernel: Kernel, platform_name: str) -> List[Dict[str, Any]]:
+    """Metric samples (name-sorted), the event stream, and a meta record.
+
+    Metrics are sorted by name so the snapshot is insensitive to benign
+    instrument-registration-order changes; events keep stream order —
+    their ordering *is* simulated behaviour.
+    """
+    metrics = sorted(kernel.obs.collect(), key=lambda r: r.get("name", ""))
+    events = list(event_records(kernel.obs.events))
+    meta = {
+        "type": "meta",
+        "platform": platform_name,
+        "clock_ns": kernel.clock.now,
+        "file_pool_pages": kernel.oracle.file_pool_used_pages(),
+        "swap_slots": kernel.oracle.swap_used_slots(),
+    }
+    return metrics + events + [meta]
+
+
+def render_lines(records: List[Dict[str, Any]]) -> List[str]:
+    return [json.dumps(r, sort_keys=True, default=str) for r in records]
+
+
+def snapshot_path(platform_name: str) -> Path:
+    return GOLDEN_DIR / f"trace_{platform_name}.jsonl"
+
+
+@pytest.mark.parametrize("platform_name", PLATFORM_NAMES)
+def test_golden_trace_matches_snapshot(platform_name):
+    path = snapshot_path(platform_name)
+    assert path.exists(), (
+        f"missing golden snapshot {path}; generate it with "
+        f"`PYTHONPATH=src python tests/test_golden_trace.py --regen`"
+    )
+    kernel = run_scenario(platform_name)
+    fresh = render_lines(trace_records(kernel, platform_name))
+    committed = path.read_text().splitlines()
+    assert len(fresh) == len(committed), (
+        f"{platform_name}: trace length changed "
+        f"({len(committed)} committed vs {len(fresh)} fresh)"
+    )
+    for lineno, (want, got) in enumerate(zip(committed, fresh), start=1):
+        assert want == got, (
+            f"{platform_name}: golden trace diverged at line {lineno}\n"
+            f"  committed: {want}\n"
+            f"  fresh:     {got}"
+        )
+
+
+def test_platforms_actually_diverge():
+    """Sanity: the three personalities must not share one trace."""
+    clocks = set()
+    for name in PLATFORM_NAMES:
+        clocks.add(json.loads(snapshot_path(name).read_text().splitlines()[-1])["clock_ns"])
+    assert len(clocks) == len(PLATFORM_NAMES)
+
+
+def main(argv: List[str]) -> int:
+    if "--regen" not in argv:
+        print(__doc__)
+        return 2
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name in PLATFORM_NAMES:
+        kernel = run_scenario(name)
+        lines = render_lines(trace_records(kernel, name))
+        path = snapshot_path(name)
+        path.write_text("\n".join(lines) + "\n")
+        print(f"wrote {path} ({len(lines)} records, clock={kernel.clock.now} ns)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

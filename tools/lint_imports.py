@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Offline import-hygiene check: a stdlib-only subset of ruff's F401/F811.
+
+CI runs the real ``ruff check`` (see ``.github/workflows/ci.yml``); this
+script exists for development environments that cannot install ruff.  It
+walks the given packages and reports:
+
+* imports never referenced in the module (F401) — names exported via
+  ``__all__`` or re-exported with ``import x as x`` are exempt;
+* the same name imported twice in one module scope (F811).
+
+Usage::
+
+    python tools/lint_imports.py src/repro/sim [more paths...]
+
+Exits non-zero if any finding is reported.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+
+def _imported_names(tree: ast.Module) -> List[Tuple[str, int, bool]]:
+    """(bound_name, lineno, is_explicit_reexport) for every module-level import."""
+    found = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                reexport = alias.asname is not None and alias.asname == alias.name
+                found.append((bound, node.lineno, reexport))
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                reexport = alias.asname is not None and alias.asname == alias.name
+                found.append((bound, node.lineno, reexport))
+    return found
+
+
+def _used_names(tree: ast.Module) -> set:
+    used = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            # the root of a dotted use: ``pkg.thing`` marks ``pkg`` used
+            inner = node
+            while isinstance(inner, ast.Attribute):
+                inner = inner.value
+            if isinstance(inner, ast.Name):
+                used.add(inner.id)
+    # String annotations ("Kernel") count as uses.
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            token = node.value.strip().strip("'\"")
+            if token.isidentifier():
+                used.add(token)
+    return used
+
+
+def _exported(tree: ast.Module) -> set:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if "__all__" in targets and isinstance(node.value, (ast.List, ast.Tuple)):
+                return {
+                    elt.value
+                    for elt in node.value.elts
+                    if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+                }
+    return set()
+
+
+def check_file(path: Path) -> Iterator[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    imports = _imported_names(tree)
+    used = _used_names(tree)
+    exported = _exported(tree)
+    seen = {}
+    for name, lineno, reexport in imports:
+        if name in seen and lineno != seen[name]:
+            yield f"{path}:{lineno}: F811 redefinition of imported {name!r} (first at line {seen[name]})"
+        seen.setdefault(name, lineno)
+        if reexport or name in exported or name == "annotations":
+            continue
+        if name not in used:
+            yield f"{path}:{lineno}: F401 {name!r} imported but unused"
+
+
+def main(argv: List[str]) -> int:
+    roots = [Path(arg) for arg in argv] or [Path("src/repro/sim")]
+    failures = 0
+    for root in roots:
+        files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+        for path in files:
+            for finding in check_file(path):
+                print(finding)
+                failures += 1
+    if failures:
+        print(f"{failures} finding(s)", file=sys.stderr)
+        return 1
+    print("import hygiene clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
