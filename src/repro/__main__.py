@@ -48,6 +48,7 @@ from repro.experiments.figures import (
     fig7_sort_mac,
     mac_available_memory,
 )
+from repro.experiments.robustness import robustness_noise_sweep
 from repro.experiments.tables import table1_prior_systems, table2_case_studies
 
 EXPERIMENTS: Dict[str, Callable] = {
@@ -66,6 +67,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "ablation-mac-increment": ablation_mac_increment,
     "ablation-refresh-policy": ablation_refresh_policy,
     "extension-lfs": lfs_ordering_experiment,
+    "robustness": robustness_noise_sweep,
 }
 
 USAGE = (

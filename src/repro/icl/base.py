@@ -9,10 +9,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, fields
-from typing import Dict, List, Optional
+from typing import Dict, Generator, List, Optional
 
 from repro.obs import DISABLED, Observability
+from repro.sim import syscalls as sc
+from repro.sim.errors import TransientError
+from repro.sim.syscalls import Syscall
 from repro.toolbox.repository import ParameterRepository
+from repro.toolbox.retry import Backoff
 
 
 @dataclass(frozen=True)
@@ -79,10 +83,44 @@ class ICL:
         repository: Optional[ParameterRepository] = None,
         rng: Optional[random.Random] = None,
         obs: Optional[Observability] = None,
+        retry: Optional[Backoff] = None,
     ) -> None:
         self.repository = repository or ParameterRepository()
         self.rng = rng or random.Random(0x6B0C5)
         self.obs = obs if obs is not None else DISABLED
+        # Transient-failure policy (EINTR/EAGAIN under load): probe
+        # syscalls loop through ``_retry`` with this schedule.  Retries
+        # only engage on error, so the quiet path is unchanged; pass
+        # ``toolbox.NO_RETRY`` to let transients propagate (the
+        # robustness sweep's unhardened baseline).
+        self.retry = retry if retry is not None else Backoff()
+
+    def _retry(self, syscall: Syscall) -> Generator:
+        """Issue ``syscall``, absorbing transient faults with backoff.
+
+        A bounded number of :class:`~repro.sim.errors.TransientError`
+        failures (EAGAIN/EINTR) are retried after an exponentially
+        growing simulated sleep; the budget exhausted, the error
+        propagates.  Probe syscalls are idempotent (a transient fault
+        aborts before any kernel side effect), so a retry observes
+        exactly what the fault-free call would have.  Every retry bumps
+        the ``icl.retry`` counters so injected faults stay joinable to
+        the ICL's reaction.
+        """
+        policy = self.retry
+        attempt = 0
+        while True:
+            try:
+                return (yield syscall)
+            except TransientError:
+                if attempt >= policy.max_retries:
+                    raise
+                self.obs.count("icl.retry")
+                self.obs.count(f"icl.retry.{syscall.name}")
+                delay = policy.delay_ns(attempt)
+                if delay:
+                    yield sc.sleep(delay)
+                attempt += 1
 
 
 _REGISTRY: Dict[str, type] = {}

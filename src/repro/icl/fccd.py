@@ -27,6 +27,8 @@ from typing import Generator, List, Optional, Sequence, Tuple
 from repro.icl.base import ICL, TechniqueProfile, register_icl
 from repro.sim import syscalls as sc
 from repro.sim.clock import SECONDS
+from repro.toolbox.cluster import two_means
+from repro.toolbox.outliers import mad_clip
 
 MIB = 1024 * 1024
 
@@ -112,6 +114,8 @@ class FCCD(ICL):
         probe_placement: str = "random",
         obs=None,
         batch_probes: bool = True,
+        retry=None,
+        max_resamples: int = 0,
     ) -> None:
         """``probe_placement`` is ``"random"`` (the paper's choice) or
         ``"fixed"`` (probe the middle byte of every prediction unit).
@@ -124,9 +128,18 @@ class FCCD(ICL):
         as one vectored ``pread_batch`` instead of per-probe ``pread``
         calls.  Probe placement, per-probe simulated times, and cache
         effects are bit-identical either way; batching only removes the
-        simulator's per-call dispatch cost."""
-        super().__init__(repository, rng, obs)
+        simulator's per-call dispatch cost.
+
+        ``max_resamples`` (default 0, i.e. off) is the noise-hardening
+        budget: repeated probing may re-probe a file up to this many
+        extra rounds when outlier rejection discards observations, and
+        confidence-gated ordering may re-plan when the cached/uncached
+        clustering is ambiguous."""
+        super().__init__(repository, rng, obs, retry)
         self.batch_probes = batch_probes
+        if max_resamples < 0:
+            raise ValueError("max_resamples must be >= 0")
+        self.max_resamples = max_resamples
         if probe_placement not in ("random", "fixed"):
             raise ValueError(f"unknown probe placement {probe_placement!r}")
         self.probe_placement = probe_placement
@@ -199,7 +212,9 @@ class FCCD(ICL):
                     "fccd.probe_batch", len(points), offset=offset, length=length
                 ) as span:
                     probes = (
-                        yield sc.pread_batch(fd, [(p, 1) for p in points])
+                        yield from self._retry(
+                            sc.pread_batch(fd, [(p, 1) for p in points])
+                        )
                     ).value
                     total = sum(p.elapsed_ns for p in probes)
                     count = len(probes)
@@ -211,7 +226,7 @@ class FCCD(ICL):
                     "fccd.probe_batch", offset=offset, length=length
                 ) as span:
                     for point in points:
-                        result = yield sc.pread(fd, point, 1)
+                        result = yield from self._retry(sc.pread(fd, point, 1))
                         total += result.elapsed_ns
                         count += 1
                     span.attrs["probes"] = count
@@ -238,9 +253,24 @@ class FCCD(ICL):
         for _ in range(rounds):
             segments = yield from self.probe_fd(fd, size, align)
             all_rounds.append(segments)
+        if self.max_resamples:
+            # Noise hardening: when MAD rejection discards any round's
+            # observation, a contaminated sample slipped in — spend the
+            # resample budget on fresh rounds so the median rests on
+            # clean observations (§4.1.2's "increased confidence").
+            budget = self.max_resamples
+            while budget and self._rounds_contaminated(all_rounds):
+                self.obs.count("icl.resample")
+                segments = yield from self.probe_fd(fd, size, align)
+                all_rounds.append(segments)
+                budget -= 1
         merged: List[AccessSegment] = []
         for per_segment in zip(*all_rounds):
             times = sorted(s.probe_ns for s in per_segment)
+            if self.max_resamples:
+                kept = mad_clip(times, nmads=3.0)
+                if kept:
+                    times = sorted(kept)
             median = times[len(times) // 2]
             first = per_segment[0]
             merged.append(
@@ -253,6 +283,15 @@ class FCCD(ICL):
             )
         return merged
 
+    @staticmethod
+    def _rounds_contaminated(all_rounds: Sequence[Sequence[AccessSegment]]) -> bool:
+        """True when MAD rejection discards any segment's observation."""
+        for per_segment in zip(*all_rounds):
+            times = [s.probe_ns for s in per_segment]
+            if len(mad_clip(times, nmads=3.0)) < len(times):
+                return True
+        return False
+
     def plan_file(self, path: str, align: int = 1, rounds: int = 1) -> Generator:
         """Open, probe, and close one file; returns a :class:`FilePlan`.
 
@@ -260,9 +299,9 @@ class FCCD(ICL):
         worthwhile when other processes' I/O adds timing noise.
         """
         with self.obs.span("fccd.plan_file", path=path, rounds=rounds) as span:
-            fd = (yield sc.open(path)).value
+            fd = (yield from self._retry(sc.open(path))).value
             try:
-                size = (yield sc.fstat(fd)).value.size
+                size = (yield from self._retry(sc.fstat(fd))).value.size
                 span.attrs["size"] = size
                 if rounds == 1:
                     segments = yield from self.probe_fd(fd, size, align)
@@ -300,3 +339,53 @@ class FCCD(ICL):
         indexed = list(enumerate(paths))
         indexed.sort(key=lambda pair: (plans[pair[1]].mean_probe_ns, pair[0]))
         return [path for _i, path in indexed], plans
+
+    def order_files_confident(
+        self,
+        paths: Sequence[str],
+        align: int = 1,
+        rounds: int = 3,
+        min_confidence: float = 0.25,
+    ) -> Generator:
+        """Noise-hardened ordering with a confidence-gated answer.
+
+        Each file is probed ``rounds`` times (medianed, outlier-clipped,
+        resampled within :attr:`max_resamples` — see
+        :meth:`probe_fd_repeated`), then the per-file scores are
+        two-means clustered into cached/uncached populations.  The
+        split's :attr:`~repro.toolbox.cluster.ClusterSplit.confidence`
+        (variance explained) gates the answer: below ``min_confidence``
+        the whole sweep is re-planned, up to :attr:`max_resamples`
+        times, and a final low-confidence answer is reported via the
+        ``icl.low_confidence`` counter/event so callers (and the
+        robustness harness) can treat it as "don't know" rather than
+        silently trusting a coin flip.
+
+        Returns ``(ordered_paths, plans, confidence)``.  Note a
+        genuinely uniform population (everything cached, or nothing)
+        legitimately scores low; the gate bounds *wrong* answers, the
+        caller decides what low confidence means for its workload.
+        """
+        attempts = 0
+        while True:
+            plans = {}
+            for path in paths:
+                plans[path] = yield from self.plan_file(path, align, rounds=rounds)
+            scores = [plans[path].mean_probe_ns for path in paths]
+            split = two_means(scores) if scores else None
+            confidence = split.confidence if split is not None else 0.0
+            if confidence >= min_confidence or attempts >= self.max_resamples:
+                break
+            attempts += 1
+            self.obs.count("icl.resample")
+        if confidence < min_confidence:
+            self.obs.count("icl.low_confidence")
+            self.obs.event(
+                "icl.low_confidence",
+                icl="fccd",
+                confidence=round(confidence, 4),
+                files=len(paths),
+            )
+        indexed = list(enumerate(paths))
+        indexed.sort(key=lambda pair: (plans[pair[1]].mean_probe_ns, pair[0]))
+        return [path for _i, path in indexed], plans, confidence

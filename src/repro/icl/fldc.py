@@ -54,13 +54,14 @@ class FLDC(ICL):
     )
 
     def __init__(
-        self, repository=None, rng=None, obs=None, batch_probes: bool = True
+        self, repository=None, rng=None, obs=None, batch_probes: bool = True,
+        retry=None,
     ) -> None:
         """``batch_probes`` (default on) sweeps paths with one vectored
         ``stat_batch`` per call instead of per-path ``stat`` calls; path
         resolution walks identical cache state in identical order, so
         the observed i-numbers and stat latencies are unchanged."""
-        super().__init__(repository, rng, obs)
+        super().__init__(repository, rng, obs, retry)
         self.batch_probes = batch_probes
 
     # ------------------------------------------------------------------
@@ -71,13 +72,13 @@ class FLDC(ICL):
         stats = {}
         if self.batch_probes:
             with self.obs.span_batch("fldc.stat_batch", len(paths)):
-                results = (yield sc.stat_batch(list(paths))).value
+                results = (yield from self._retry(sc.stat_batch(list(paths)))).value
             for path, probe in zip(paths, results):
                 stats[path] = probe.stat
         else:
             with self.obs.span("fldc.stat_batch", files=len(paths)):
                 for path in paths:
-                    stats[path] = (yield sc.stat(path)).value
+                    stats[path] = (yield from self._retry(sc.stat(path))).value
         self.obs.count("icl.fldc.stats", len(paths))
         return stats
 
@@ -140,17 +141,21 @@ class FLDC(ICL):
         dir_path = dir_path.rstrip("/")
         tmp_path = dir_path + ".gbrefresh"
         with self.obs.span("fldc.refresh", directory=dir_path) as span:
-            names = (yield sc.readdir(dir_path)).value
+            names = (yield from self._retry(sc.readdir(dir_path))).value
             stats = {}
             if self.batch_probes and names:
                 results = (
-                    yield sc.stat_batch([f"{dir_path}/{n}" for n in names])
+                    yield from self._retry(
+                        sc.stat_batch([f"{dir_path}/{n}" for n in names])
+                    )
                 ).value
                 for name, probe in zip(names, results):
                     stats[name] = probe.stat
             else:
                 for name in names:
-                    stats[name] = (yield sc.stat(f"{dir_path}/{name}")).value
+                    stats[name] = (
+                        yield from self._retry(sc.stat(f"{dir_path}/{name}"))
+                    ).value
             for name in names:
                 if stats[name].kind.name != "FILE":
                     raise ValueError(
@@ -188,10 +193,9 @@ class FLDC(ICL):
             order=ordered,
         )
 
-    @staticmethod
-    def _copy_file(src: str, dst: str) -> Generator:
+    def _copy_file(self, src: str, dst: str) -> Generator:
         """Copy one file, preserving real content where it exists."""
-        in_fd = (yield sc.open(src)).value
+        in_fd = (yield from self._retry(sc.open(src))).value
         out_fd = (yield sc.create(dst)).value
         copied = 0
         try:

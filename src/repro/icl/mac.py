@@ -83,8 +83,11 @@ class MAC(ICL):
         increment_policy: str = "paper",
         obs=None,
         batch_probes: bool = True,
+        retry=None,
+        robust_verify: bool = False,
+        verify_retries: int = 0,
     ) -> None:
-        super().__init__(repository, rng, obs)
+        super().__init__(repository, rng, obs, retry)
         # Batched probing (default on) issues each probe loop as one
         # vectored ``touch_batch`` carrying the same windowed slow
         # detector kernel-side, so timings, pages touched, and abort
@@ -122,8 +125,30 @@ class MAC(ICL):
         if increment_policy not in ("paper", "fixed", "aggressive"):
             raise ValueError(f"unknown increment policy {increment_policy!r}")
         self.increment_policy = increment_policy
+        # Noise hardening (both default off, leaving the quiet-path
+        # behaviour untouched).  ``robust_verify`` runs the verify loops
+        # with the same windowed slow detector as loop 1 instead of
+        # failing on the first slow touch, so one scheduling spike in a
+        # thousand resident touches no longer vetoes a fitting chunk —
+        # genuine memory pressure still trips it because page-daemon
+        # stalls arrive clustered.  ``verify_retries`` re-runs a failed
+        # verify loop up to N times after a settle pause; spike noise
+        # passes on re-touch (the pages are in fact resident) while real
+        # pressure keeps re-evicting and keeps failing.
+        if verify_retries < 0:
+            raise ValueError("verify_retries must be >= 0")
+        self.robust_verify = robust_verify
+        self.verify_retries = verify_retries
         self._slow_threshold_ns: Optional[int] = None
         self.stats = MacStats()
+
+    @property
+    def _verify_slow_count(self) -> int:
+        return self.slow_count if self.robust_verify else 1
+
+    @property
+    def _verify_slow_window(self) -> int:
+        return self.slow_window_touches if self.robust_verify else 1
 
     # ------------------------------------------------------------------
     # Threshold calibration (§4.3.2 "Memory-differentiation threshold")
@@ -146,8 +171,8 @@ class MAC(ICL):
             self._slow_threshold_ns = int((zero * disk) ** 0.5)
             return self._slow_threshold_ns
         region = (yield sc.vm_alloc(8 * self.page_size, "mac-calibrate")).value
-        first = (yield sc.touch_range(region, 0, 8)).value
-        second = (yield sc.touch_range(region, 0, 8)).value
+        first = (yield from self._retry(sc.touch_range(region, 0, 8))).value
+        second = (yield from self._retry(sc.touch_range(region, 0, 8))).value
         yield sc.vm_free(region)
         worst = max(max(first), max(second))
         self._slow_threshold_ns = max(20 * worst, 50 * MICROS)
@@ -160,13 +185,15 @@ class MAC(ICL):
         """Two-loop probe of a fresh chunk; True if it fits in memory."""
         if self.batch_probes:
             loop1 = (
-                yield sc.touch_batch(
-                    region_id,
-                    0,
-                    npages,
-                    threshold_ns=threshold,
-                    slow_count=self.slow_count,
-                    slow_window=self.slow_window_touches,
+                yield from self._retry(
+                    sc.touch_batch(
+                        region_id,
+                        0,
+                        npages,
+                        threshold_ns=threshold,
+                        slow_count=self.slow_count,
+                        slow_window=self.slow_window_touches,
+                    )
                 )
             ).value
             self.stats.probe_touches += loop1.pages_touched
@@ -182,23 +209,12 @@ class MAC(ICL):
             if fits and self.settle_ns:
                 yield sc.sleep(self.settle_ns)
             if fits:
-                loop2 = (
-                    yield sc.touch_batch(
-                        region_id,
-                        0,
-                        reached,
-                        threshold_ns=threshold,
-                        slow_count=1,
-                        slow_window=1,
-                    )
-                ).value
-                self.stats.probe_touches += loop2.pages_touched
-                fits = not loop2.stopped
+                fits = yield from self._verify_loop(region_id, reached, threshold)
             return fits
         slow_marks: List[int] = []
         reached = npages
         for index in range(npages):
-            result = yield sc.touch(region_id, index)
+            result = yield from self._retry(sc.touch(region_id, index))
             self.stats.probe_touches += 1
             if result.elapsed_ns > threshold:
                 slow_marks.append(index)
@@ -214,14 +230,59 @@ class MAC(ICL):
         fits = reached == npages
         if fits and self.settle_ns:
             yield sc.sleep(self.settle_ns)
-        for index in range(reached):
-            if not fits:
-                break
-            result = yield sc.touch(region_id, index)
-            self.stats.probe_touches += 1
-            if result.elapsed_ns > threshold:
-                fits = False
+        if fits:
+            fits = yield from self._verify_loop(region_id, reached, threshold)
         return fits
+
+    def _verify_loop(self, region_id: int, npages: int, threshold: int) -> Generator:
+        """The second probe loop, with the hardening knobs applied.
+
+        Stock behaviour (``robust_verify`` off, ``verify_retries`` 0):
+        one pass failing on the first slow touch — exactly the paper's
+        verify loop.  Hardened, the pass uses the windowed slow detector
+        and a failed pass is re-run after a settle pause, bounded by
+        ``verify_retries``.
+        """
+        attempt = 0
+        while True:
+            if self.batch_probes:
+                loop2 = (
+                    yield from self._retry(
+                        sc.touch_batch(
+                            region_id,
+                            0,
+                            npages,
+                            threshold_ns=threshold,
+                            slow_count=self._verify_slow_count,
+                            slow_window=self._verify_slow_window,
+                        )
+                    )
+                ).value
+                self.stats.probe_touches += loop2.pages_touched
+                fits = not loop2.stopped
+            else:
+                fits = True
+                slow_marks: List[int] = []
+                for index in range(npages):
+                    result = yield from self._retry(sc.touch(region_id, index))
+                    self.stats.probe_touches += 1
+                    if result.elapsed_ns > threshold:
+                        slow_marks.append(index)
+                        recent = [
+                            m
+                            for m in slow_marks
+                            if index - m < self._verify_slow_window
+                        ]
+                        if len(recent) >= self._verify_slow_count:
+                            fits = False
+                            break
+            if fits or attempt >= self.verify_retries:
+                return fits
+            attempt += 1
+            self.stats.verify_retries += 1
+            self.obs.count("icl.mac.verify_retries")
+            if self.settle_ns:
+                yield sc.sleep(self.settle_ns)
 
     def _reverify(self, regions: List[Tuple[int, int]], threshold: int) -> Generator:
         """Residency check of the already-confirmed chunks.
@@ -233,17 +294,34 @@ class MAC(ICL):
         cost it calls out as half of gb-fastsort's overhead (§4.3.3).
         A larger stride samples instead (the cheap-probe ablation).
         """
+        attempt = 0
+        while True:
+            ok = yield from self._reverify_once(regions, threshold)
+            if ok or attempt >= self.verify_retries:
+                return ok
+            attempt += 1
+            self.stats.verify_retries += 1
+            self.obs.count("icl.mac.verify_retries")
+            if self.settle_ns:
+                yield sc.sleep(self.settle_ns)
+
+    def _reverify_once(
+        self, regions: List[Tuple[int, int]], threshold: int
+    ) -> Generator:
+        """One residency pass over the confirmed regions."""
         if self.batch_probes:
             for region_id, npages in regions:
                 result = (
-                    yield sc.touch_batch(
-                        region_id,
-                        0,
-                        npages,
-                        stride=self.reverify_stride,
-                        threshold_ns=threshold,
-                        slow_count=1,
-                        slow_window=1,
+                    yield from self._retry(
+                        sc.touch_batch(
+                            region_id,
+                            0,
+                            npages,
+                            stride=self.reverify_stride,
+                            threshold_ns=threshold,
+                            slow_count=self._verify_slow_count,
+                            slow_window=self._verify_slow_window,
+                        )
                     )
                 ).value
                 self.stats.probe_touches += result.pages_touched
@@ -251,11 +329,17 @@ class MAC(ICL):
                     return False
             return True
         for region_id, npages in regions:
+            slow_marks: List[int] = []
             for index in range(0, npages, self.reverify_stride):
-                result = yield sc.touch(region_id, index)
+                result = yield from self._retry(sc.touch(region_id, index))
                 self.stats.probe_touches += 1
                 if result.elapsed_ns > threshold:
-                    return False
+                    slow_marks.append(index)
+                    recent = [
+                        m for m in slow_marks if index - m < self._verify_slow_window
+                    ]
+                    if len(recent) >= self._verify_slow_count:
+                        return False
         return True
 
     # ------------------------------------------------------------------
@@ -384,3 +468,4 @@ class MacStats:
     grants: int = 0
     denials: int = 0
     waits: int = 0
+    verify_retries: int = 0

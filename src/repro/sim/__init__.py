@@ -28,11 +28,23 @@ from repro.sim.errors import (
     BadFileDescriptor,
     FileExists,
     FileNotFound,
+    Interrupted,
     InvalidArgument,
     IsADirectory,
     NoSpace,
     NotADirectory,
     OutOfMemory,
+    TransientError,
+    TryAgain,
+    is_transient,
+)
+from repro.sim.inject import (
+    FaultInjector,
+    InjectionConfig,
+    InterferenceSpec,
+    LatencyNoise,
+    TransientFaults,
+    noise_profile,
 )
 from repro.sim.kernel import Kernel, Oracle
 from repro.sim import syscalls
@@ -52,11 +64,21 @@ __all__ = [
     "BadFileDescriptor",
     "FileExists",
     "FileNotFound",
+    "Interrupted",
     "InvalidArgument",
     "IsADirectory",
     "NoSpace",
     "NotADirectory",
     "OutOfMemory",
+    "TransientError",
+    "TryAgain",
+    "is_transient",
+    "FaultInjector",
+    "InjectionConfig",
+    "InterferenceSpec",
+    "LatencyNoise",
+    "TransientFaults",
+    "noise_profile",
     "NANOS",
     "MICROS",
     "MILLIS",

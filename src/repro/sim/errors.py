@@ -72,3 +72,38 @@ class PermissionDenied(SimOSError):
     """Privileged operation attempted by an ordinary process (EPERM)."""
 
     errno_name = "EPERM"
+
+
+class TransientError(SimOSError):
+    """Base for failures the caller is expected to retry.
+
+    Real kernels deliver these under load — a signal interrupting a
+    slow syscall, a resource momentarily exhausted — and robust library
+    code (the ICLs included) must loop rather than give up.  The fault
+    injector (:mod:`repro.sim.inject`) raises exactly these.
+    """
+
+    errno_name = "EAGAIN"
+
+
+class TryAgain(TransientError):
+    """Resource temporarily unavailable (EAGAIN)."""
+
+    errno_name = "EAGAIN"
+
+
+class Interrupted(TransientError):
+    """Syscall interrupted before completion (EINTR)."""
+
+    errno_name = "EINTR"
+
+
+TRANSIENT_ERRNOS = frozenset({"EAGAIN", "EINTR"})
+
+
+def is_transient(error: BaseException) -> bool:
+    """True for errors a bounded retry loop should absorb."""
+    return (
+        isinstance(error, TransientError)
+        or getattr(error, "errno_name", None) in TRANSIENT_ERRNOS
+    )

@@ -15,7 +15,7 @@ through :class:`~repro.sim.pagecache.PageCacheManager`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.sim.cache.base import FileKey
 from repro.sim.clock import Clock
@@ -55,6 +55,10 @@ class FileIO:
         self.procs = procs
         self.contents = contents
         self._open_count: Dict[Tuple[int, int], int] = {}
+        #: Optional fault injector (repro.sim.inject.FaultInjector); when
+        #: set, per-probe elapsed times pass through ``probe_elapsed`` so
+        #: the batched and sequential paths observe one noise stream.
+        self.inject: Optional[Any] = None
 
     def register_syscalls(self, table: SyscallTable) -> None:
         table.register("open", self.sys_open)
@@ -148,7 +152,10 @@ class FileIO:
         entry = process.lookup_fd(fd)
         if entry.kind != "file":
             raise BadFileDescriptor(f"fd {fd} does not support pread")
-        return self._do_read(process, entry, offset, nbytes)
+        value, duration = self._do_read(process, entry, offset, nbytes)
+        if self.inject is not None:
+            duration = self.inject.probe_elapsed("pread", duration)
+        return value, duration
 
     def _do_read(self, process: Process, entry: OpenFile, offset: int, nbytes: int):
         t0 = self.clock.now
@@ -226,6 +233,7 @@ class FileIO:
         # fast path defers it.  A fallback probe stamps internally
         # (superseding anything pending), hence the reset.
         pending_stamp: Optional[int] = None
+        inject = self.inject
         for offset, nbytes in probes:
             if 0 <= offset < size and nbytes > 0:
                 end = offset + nbytes
@@ -240,6 +248,8 @@ class FileIO:
                         copy = cfg.page_copy_ns(effective)
                         copy_ns[effective] = copy
                     elapsed = overhead + copy
+                    if inject is not None:
+                        elapsed = inject.probe_elapsed("pread", elapsed)
                     data = (
                         bytes(stored[offset : offset + effective])
                         if stored is not None
@@ -250,10 +260,13 @@ class FileIO:
                     t += elapsed
                     continue
             value, finish = self.pread_at(entry, offset, nbytes, t)
-            append(ProbeRead(value.nbytes, finish - t, value.data))
+            elapsed = finish - t
+            if inject is not None:
+                elapsed = inject.probe_elapsed("pread", elapsed)
+            append(ProbeRead(value.nbytes, elapsed, value.data))
             if value.nbytes > 0:
                 pending_stamp = None
-            t = finish
+            t += elapsed
         if pending_stamp is not None:
             inode.stamp(pending_stamp, access=True)
         return results, t - t0

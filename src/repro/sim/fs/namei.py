@@ -19,7 +19,7 @@ time ``t`` and return the new time; syscall handlers return
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.sim.cache.base import FileKey, MetaKey, PageEntry
 from repro.sim.clock import Clock
@@ -63,6 +63,10 @@ class NameLayer:
         self._disk_of_fs = disk_of_fs
         self._contents = contents
         self._is_open: Callable[[int, int], bool] = lambda fs_id, ino: False
+        #: Optional fault injector (repro.sim.inject.FaultInjector); when
+        #: set, per-stat elapsed times pass through ``probe_elapsed`` so
+        #: ``stat`` and ``stat_batch`` observe one noise stream.
+        self.inject: Optional[Any] = None
 
     def bind_open_counts(self, is_open: Callable[[int, int], bool]) -> None:
         """Wire the file-I/O layer's open-descriptor check into unlink."""
@@ -164,7 +168,10 @@ class NameLayer:
         t0 = self.clock.now
         t = t0 + self.config.syscall_overhead_ns
         fs, disk, inode, t = self.resolve(process, path, t)
-        return StatResult.from_inode(inode), t - t0
+        duration = t - t0
+        if self.inject is not None:
+            duration = self.inject.probe_elapsed("stat", duration)
+        return StatResult.from_inode(inode), duration
 
     def sys_stat_batch(self, process: Process, paths):
         """Vectored stat: resolve every path in one dispatch.
@@ -178,11 +185,16 @@ class NameLayer:
         t0 = self.clock.now
         t = t0
         results: List[ProbeStat] = []
+        inject = self.inject
         for path in paths:
             start = t
             t += self.config.syscall_overhead_ns
             fs, disk, inode, t = self.resolve(process, path, t)
-            results.append(ProbeStat(StatResult.from_inode(inode), t - start))
+            elapsed = t - start
+            if inject is not None:
+                elapsed = inject.probe_elapsed("stat", elapsed)
+                t = start + elapsed
+            results.append(ProbeStat(StatResult.from_inode(inode), elapsed))
         return results, t - t0
 
     def sys_mkdir(self, process: Process, path: str):

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.obs.metrics import SnapshotStats
 from repro.sim.proc.process import Process, ProcessState
@@ -73,6 +73,10 @@ class Scheduler:
         self._last_pid: Optional[int] = None
         self._runnable = 0
         self._blocked = 0
+        #: Optional interference hook (repro.sim.inject): called as
+        #: ``hook(pid, at) -> extra_ns`` each time a process becomes
+        #: ready, modelling stolen scheduler slots and coarse timers.
+        self.wake_delay_hook: Optional[Callable[[int, int], int]] = None
 
     def add(self, process: Process) -> None:
         self.processes[process.pid] = process
@@ -80,6 +84,8 @@ class Scheduler:
         self.make_ready(process, process.ready_at)
 
     def make_ready(self, process: Process, at: int) -> None:
+        if self.wake_delay_hook is not None:
+            at += self.wake_delay_hook(process.pid, at)
         if process.state is ProcessState.BLOCKED:
             self._blocked -= 1
             self._runnable += 1

@@ -14,7 +14,7 @@ path on unified-VM platforms.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro.sim.cache.base import AnonKey
 from repro.sim.clock import Clock
@@ -44,6 +44,12 @@ class VMLayer:
         self.mm = mm
         self.swap_disk = swap_disk
         self.page_cache = page_cache
+        #: Optional fault injector (repro.sim.inject.FaultInjector); when
+        #: set, per-touch elapsed times pass through ``probe_elapsed`` so
+        #: batched and sequential touches observe one noise stream (and
+        #: the batch's early-stop predicate sees the noisy time, exactly
+        #: like the user-space sequential loop would).
+        self.inject: Optional[Any] = None
 
     def register_syscalls(self, table: SyscallTable) -> None:
         table.register("vm_alloc", self.sys_vm_alloc)
@@ -105,7 +111,10 @@ class VMLayer:
     def sys_touch(self, process: Process, region_id: int, page_index: int):
         t0 = self.clock.now
         t = self.touch_one(process, region_id, page_index, t0)
-        return None, t - t0
+        duration = t - t0
+        if self.inject is not None:
+            duration = self.inject.probe_elapsed("touch", duration)
+        return None, duration
 
     def sys_touch_range(self, process: Process, region_id: int, start_page: int, npages: int):
         if npages <= 0:
@@ -113,9 +122,12 @@ class VMLayer:
         t0 = self.clock.now
         t = t0
         per_page: List[int] = []
+        inject = self.inject
         for index in range(start_page, start_page + npages):
             before = t
             t = self.touch_one(process, region_id, index, t)
+            if inject is not None:
+                t = before + inject.probe_elapsed("touch", t - before)
             per_page.append(t - before)
         return per_page, t - t0
 
@@ -165,6 +177,7 @@ class VMLayer:
         resident_touch = self.mm.anon_fault_resident
         mem_touch_ns = self.config.mem_touch_ns
         pid = process.pid
+        inject = self.inject
         for index in range(start_page, start_page + npages, stride):
             before = t
             page = base_page + index
@@ -174,6 +187,11 @@ class VMLayer:
             else:
                 t = self.touch_one(process, region_id, index, t)
                 elapsed = t - before
+            if inject is not None:
+                # Noise the touch before the early-stop predicate reads
+                # it, exactly as the sequential user-space loop would.
+                elapsed = inject.probe_elapsed("touch", elapsed)
+                t = before + elapsed
             append(elapsed)
             if threshold_ns is not None and elapsed > threshold_ns:
                 slow_marks.append(index)

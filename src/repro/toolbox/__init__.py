@@ -15,6 +15,7 @@ Everything here observes the kernel *only* through syscalls.
 from repro.toolbox.cluster import ClusterSplit, two_means
 from repro.toolbox.outliers import mad_clip, sigma_clip
 from repro.toolbox.repository import ParameterRepository
+from repro.toolbox.retry import NO_RETRY, Backoff
 from repro.toolbox.stats import (
     OnlineStats,
     SampleStats,
@@ -30,6 +31,8 @@ __all__ = [
     "two_means",
     "mad_clip",
     "sigma_clip",
+    "Backoff",
+    "NO_RETRY",
     "ParameterRepository",
     "OnlineStats",
     "SampleStats",

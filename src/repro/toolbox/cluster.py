@@ -30,10 +30,30 @@ class ClusterSplit:
     # Total within-group sum of squares at the chosen split.
     within_ss: float
 
+    # Total sum of squares of all observations around the grand mean;
+    # 0.0 for degenerate (single-valued) inputs.
+    total_ss: float = 0.0
+
     @property
     def separation(self) -> float:
         """Gap between centers; ~0 means the data is effectively one group."""
         return self.high_center - self.low_center
+
+    @property
+    def confidence(self) -> float:
+        """How decisively the data splits into two groups, in [0, 1].
+
+        The fraction of total variance the split explains (the R² of the
+        two-group model): 1.0 when each group is internally tight and far
+        from the other, ~0 when the "split" is an arbitrary cut through
+        one noisy population.  Confidence-gated ICL answers compare this
+        against a floor before trusting a cached/uncached separation.
+        Degenerate inputs (one group, all values equal) score 0.0 —
+        no evidence of two populations.
+        """
+        if not self.high_group or self.total_ss <= 0.0:
+            return 0.0
+        return max(0.0, 1.0 - self.within_ss / self.total_ss)
 
 
 def two_means(values: Sequence[float]) -> ClusterSplit:
@@ -57,6 +77,7 @@ def two_means(values: Sequence[float]) -> ClusterSplit:
             high_center=center,
             threshold=ordered[-1],
             within_ss=_ss(ordered),
+            total_ss=_ss(ordered),
         )
 
     prefix = [0.0]
@@ -92,6 +113,7 @@ def two_means(values: Sequence[float]) -> ClusterSplit:
         high_center=high_center,
         threshold=threshold,
         within_ss=best_ss,
+        total_ss=group_ss(0, n),
     )
 
 

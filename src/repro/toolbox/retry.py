@@ -1,0 +1,64 @@
+"""Bounded retry-with-backoff for transient syscall failures (§5).
+
+Real kernels deliver EINTR/EAGAIN under load; robust gray-box library
+code absorbs a bounded number of them and then gives up loudly.  The
+:class:`Backoff` policy is plain data — the ICL base class owns the
+retry *loop* (it has the obs sink and the syscall channel) while this
+module owns the *schedule*, so tests can reason about delays without a
+kernel.
+
+The schedule is deterministic (no jitter): simulated experiments must be
+bit-reproducible, and the simulated machine has no thundering herd to
+de-synchronize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+MICROS = 1_000
+MILLIS = 1_000_000
+
+
+@dataclass(frozen=True)
+class Backoff:
+    """Exponential backoff schedule for retrying transient failures.
+
+    ``max_retries`` is the number of *re*-attempts after the first try
+    (0 disables retrying entirely — the unhardened configuration).  The
+    delay before retry *k* (0-based) is ``initial_ns * multiplier**k``,
+    capped at ``max_ns``.
+    """
+
+    max_retries: int = 4
+    initial_ns: int = 100 * MICROS
+    multiplier: float = 2.0
+    max_ns: int = 50 * MILLIS
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.initial_ns < 0 or self.max_ns < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1.0")
+
+    def delay_ns(self, attempt: int) -> int:
+        """Delay before re-attempt ``attempt`` (0-based), in nanoseconds."""
+        if attempt < 0:
+            raise ValueError("attempt must be >= 0")
+        delay = self.initial_ns * self.multiplier**attempt
+        return int(min(delay, self.max_ns))
+
+    def delays(self) -> Iterator[int]:
+        """The full delay schedule, one entry per allowed retry."""
+        for attempt in range(self.max_retries):
+            yield self.delay_ns(attempt)
+
+
+#: Retrying disabled: transient faults propagate to the caller.  The
+#: configuration the robustness sweep uses as its unhardened baseline.
+NO_RETRY = Backoff(max_retries=0)
+
+__all__ = ["Backoff", "NO_RETRY"]

@@ -1,6 +1,18 @@
-"""Shared fixtures: small machines and generator-process helpers."""
+"""Shared fixtures: small machines and generator-process helpers.
+
+Also the RNG-seeding guard: reproducibility here rests on every random
+draw flowing from an explicit seed (``random.Random(seed)`` instances,
+stream-keyed injector draws), never from the process-global ``random``
+module.  An autouse fixture seeds the global RNG per test anyway (so an
+accidental use cannot flake run-to-run) and then *fails* the test that
+consumed it, pointing at the unseeded use.  Hypothesis-driven tests are
+exempt: Hypothesis manages and restores the global RNG itself.
+"""
 
 from __future__ import annotations
+
+import hashlib
+import random
 
 import pytest
 
@@ -8,6 +20,25 @@ from repro.sim import Kernel, MachineConfig, linux22, netbsd15, solaris7
 
 KIB = 1024
 MIB = 1024 * 1024
+
+
+@pytest.fixture(autouse=True)
+def _global_rng_guard(request):
+    """Deterministic global RNG per test + a tripwire on its use."""
+    node_seed = int.from_bytes(
+        hashlib.sha256(request.node.nodeid.encode()).digest()[:8], "big"
+    )
+    random.seed(node_seed)  # rng-audit: allow — the guard itself
+    before = random.getstate()
+    yield
+    if request.node.get_closest_marker("hypothesis") is not None:
+        return
+    if random.getstate() != before:
+        pytest.fail(
+            f"{request.node.nodeid} drew from the module-global `random` "
+            "RNG. Use an explicitly seeded random.Random(seed) instance "
+            "so trials replay byte-identically."
+        )
 
 
 def small_config(**overrides) -> MachineConfig:

@@ -27,7 +27,7 @@ class TestCli:
             "mac-available", "table1", "table2",
             "ablation-probe-placement", "ablation-threshold",
             "ablation-mac-increment", "ablation-refresh-policy",
-            "extension-lfs",
+            "extension-lfs", "robustness",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -86,6 +86,7 @@ class TestReportSummaries:
 
     def test_sections_cover_every_experiment(self):
         titles = [title for title, _d, _s in report.SECTIONS]
-        assert len(titles) == 15
+        assert len(titles) == 16
+        assert any("Robustness" in t for t in titles)
         assert any("Figure 7" in t for t in titles)
         assert any("Table 1" in t for t in titles)
