@@ -13,8 +13,8 @@ overlap on the simulated timeline:
   force reclaim: ``fccd.probe_batch`` spans enclose ``kernel.reclaim``
   events.  This is the join the acceptance test checks.
 * ``fldc`` — FLDC stats and refreshes an aged directory:
-  ``fldc.stat_batch`` / ``fldc.refresh`` spans over syscall latency
-  histograms.
+  ``fldc.stat_batch`` (vectored) or ``fldc.stat_sweep`` (sequential)
+  plus ``fldc.refresh`` spans over syscall latency histograms.
 * ``mac`` — MAC grows an allocation against a competitor:
   ``mac.gb_alloc`` / ``mac.alloc_round`` spans against fault counters
   and reclaim events.

@@ -76,7 +76,9 @@ class FLDC(ICL):
             for path, probe in zip(paths, results):
                 stats[path] = probe.stat
         else:
-            with self.obs.span("fldc.stat_batch", files=len(paths)):
+            # Distinct span name: exported JSONL must distinguish the
+            # sequential sweep from the vectored ``fldc.stat_batch``.
+            with self.obs.span("fldc.stat_sweep", files=len(paths)):
                 for path in paths:
                     stats[path] = (yield from self._retry(sc.stat(path))).value
         self.obs.count("icl.fldc.stats", len(paths))

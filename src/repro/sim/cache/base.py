@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, NamedTuple, Union
+from typing import Any, Iterable, Iterator, List, NamedTuple, Sequence, Union
 
 from repro.obs.metrics import SnapshotStats
 
@@ -95,6 +95,50 @@ class CachePolicy(ABC):
             self.stats.hits += 1
             return True
         return False
+
+    def touch_cached_many(self, keys: Sequence[PageKey]) -> bool:
+        """All-or-nothing clean touch of a key sequence; True if all hit.
+
+        The name-cache replay primitive: when *every* key is present,
+        re-reference each one **in order** (recency/reference updates
+        exactly as ``len(keys)`` individual clean touches would) and
+        count that many hits.  If any key is absent, mutate nothing —
+        no stats, no recency movement — and return False so the caller
+        falls back to the slow walk, which performs and accounts every
+        touch itself.  Membership is verified for the whole sequence
+        before the first reference so a late miss cannot leave partial
+        hit counts behind.  Subclasses override with fused forms.
+        """
+        contains = self.contains
+        for key in keys:
+            if not contains(key):
+                return False
+        reference = self._reference
+        for key in keys:
+            reference(key, False)
+        self.stats.hits += len(keys)
+        return True
+
+    def replay_token(self, keys: Sequence[PageKey]) -> Any:
+        """An opaque token for O(len)-cheap re-touches of resident keys.
+
+        Contract: ``keys`` must all be resident *now*, and the token is
+        valid only while **no page leaves this pool** (the memory
+        manager's file-eviction epoch tracks exactly that).  While
+        valid, :meth:`replay` must be observably identical to a
+        successful :meth:`touch_cached_many` over the same keys —
+        same recency/reference effects, same hit count.  Policies
+        override to pre-resolve per-key lookups (e.g. clock caches the
+        frame objects, so a replay is pure attribute stores).
+        """
+        return tuple(keys)
+
+    def replay(self, token: Any) -> None:
+        """Re-touch a :meth:`replay_token`'s keys without membership checks."""
+        reference = self._reference
+        for key in token:
+            reference(key, False)
+        self.stats.hits += len(token)
 
     @abstractmethod
     def _reference(self, key: PageKey, dirty: bool) -> bool:

@@ -73,6 +73,24 @@ class SegmapPolicy(CachePolicy):
         self._pages_of(key)[key] = dirty
         self._count += 1
 
+    def touch_cached_many(self, keys) -> bool:
+        """Fused all-or-nothing replay: a clean segmap hit moves nothing."""
+        owners = self._owners
+        for key in keys:
+            pages = owners.get(_owner_of(key))
+            if pages is None or key not in pages:
+                return False
+        self.stats.hits += len(keys)
+        return True
+
+    def replay_token(self, keys):
+        """A clean segmap hit mutates nothing, so the hit count is the
+        entire replay state."""
+        return len(keys)
+
+    def replay(self, token) -> None:
+        self.stats.hits += token
+
     def contains(self, key: PageKey) -> bool:
         pages = self._owners.get(_owner_of(key))
         return bool(pages) and key in pages

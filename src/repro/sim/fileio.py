@@ -123,6 +123,7 @@ class FileIO:
         t = t0 + self.config.syscall_overhead_ns
         fs, disk, parent, name, t = self.vfs.resolve_parent(process, path, t)
         inode = fs.create(parent.ino, name, FileKind.FILE, self.clock.now)
+        self.vfs.namespace_changed(fs)
         t = self.vfs.dirty_meta(fs, inode.ino, t)
         t = self.vfs.dirty_meta(fs, parent.ino, t)
         t = self.vfs.dirty_dir_data(fs, parent.ino, t)

@@ -367,6 +367,20 @@ class FFS:
         ino = src.lookup(old_name)
         if dst.contains(new_name):
             raise FileExists(f"{new_name!r} already exists")
+        if self.get_inode(ino).is_dir:
+            # EINVAL, as POSIX demands: moving a directory into its own
+            # subtree would detach it from the root into an unreachable
+            # cycle with corrupted nlink counts.  Checked before any
+            # mutation so a rejected rename has no side effects.
+            ancestor = new_parent
+            while True:
+                if ancestor == ino:
+                    raise InvalidArgument(
+                        f"cannot rename directory {old_name!r} into its own subtree"
+                    )
+                if ancestor == ROOT_INO:
+                    break
+                ancestor = self.directories[ancestor].parent_ino
         src.remove(old_name)
         dst.add(new_name, ino)
         moved = self.get_inode(ino)

@@ -73,9 +73,20 @@ __all__ = [
 
 #: Syscalls whose noise is injected per probe inside the kernel layers
 #: (so batched and sequential forms share one stream); the dispatch
-#: wrapper never adds call-level jitter to these.
+#: wrapper never adds call-level jitter to these.  ``utimes`` is a
+#: path-walk metadata probe with stat's exact cost profile, so it rides
+#: the stat stream (but stays fault-ineligible: it mutates).
 PROBE_SYSCALLS = frozenset(
-    {"pread", "pread_batch", "stat", "stat_batch", "touch", "touch_range", "touch_batch"}
+    {
+        "pread",
+        "pread_batch",
+        "stat",
+        "stat_batch",
+        "utimes",
+        "touch",
+        "touch_range",
+        "touch_batch",
+    }
 )
 
 #: The batch/sequential syscall families map onto three probe streams.
@@ -84,6 +95,7 @@ _PROBE_KIND = {
     "pread_batch": "pread",
     "stat": "stat",
     "stat_batch": "stat",
+    "utimes": "stat",
     "touch": "touch",
     "touch_range": "touch",
     "touch_batch": "touch",

@@ -39,9 +39,10 @@ from repro.sim.disk import Disk
 from repro.sim.dispatch import BLOCK, SyscallTable
 from repro.sim.errors import InvalidArgument, SimOSError
 from repro.sim.fileio import FileIO
+from repro.sim.fs.dcache import NameCache
 from repro.sim.fs.ffs import FFS, ROOT_INO
 from repro.sim.fs.inode import Inode
-from repro.sim.fs.namei import NameLayer
+from repro.sim.fs.namei import STAT_PRESERVING_SYSCALLS, NameLayer
 from repro.sim.fs.vfs import MountTable, PathName
 from repro.sim.pagecache import PageCacheManager
 from repro.sim.proc.process import PipeBuffer, Process, ProcessState
@@ -71,6 +72,7 @@ class Kernel:
         inodes_per_cg: int = 1024,
         fs_class: type = FFS,
         obs: Optional[Observability] = None,
+        name_cache: bool = True,
     ) -> None:
         self.config = config or MachineConfig()
         self.platform = platform
@@ -126,6 +128,9 @@ class Kernel:
         self.page_cache = page_cache_factory(
             cfg, self.mm, self.swap_disk, self._fs_by_id, self._disk_of_fs
         )
+        # ``name_cache=False`` builds an identical machine without walk
+        # memoization — the twin the dcache differential tests compare
+        # against (simulated behaviour must be bit-identical either way).
         self.vfs = NameLayer(
             cfg,
             self.clock,
@@ -134,6 +139,7 @@ class Kernel:
             self.mounts,
             self._disk_of_fs,
             self.contents,
+            name_cache=NameCache() if name_cache else None,
         )
         self.procs = ProcLayer(cfg, self.clock, self.scheduler, self.spawn)
         self.fileio = FileIO(
@@ -256,6 +262,10 @@ class Kernel:
         handler = self._handlers.get(syscall.name)
         if handler is None:
             raise InvalidArgument(f"unknown syscall {syscall.name!r}")
+        if syscall.name not in STAT_PRESERVING_SYSCALLS:
+            # Before dispatch, not after: a handler that errors out
+            # midway may still have mutated inode fields.
+            self.vfs.stat_epoch += 1
         start = self.clock.now
         process.stats.syscalls += 1
         try:

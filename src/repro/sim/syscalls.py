@@ -21,7 +21,7 @@ Sub-routines compose with ``yield from`` and can return values via
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional, Sequence, Tuple, Union
+from typing import Any, NamedTuple, Optional, Sequence, Tuple, Union
 
 
 @dataclass(frozen=True)
@@ -283,9 +283,13 @@ class ProbeRead:
     data: Optional[bytes] = None
 
 
-@dataclass(frozen=True)
-class ProbeStat:
-    """One path's result inside a :func:`stat_batch` value."""
+class ProbeStat(NamedTuple):
+    """One path's result inside a :func:`stat_batch` value.
+
+    A NamedTuple: stat_batch builds one per path on its fast path, so
+    construction cost matters the way it does not for the dataclass
+    result types above.
+    """
 
     stat: Any  # StatResult
     elapsed_ns: int

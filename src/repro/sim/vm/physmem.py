@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.obs import DISABLED, Observability
 from repro.sim.cache.base import (
@@ -79,6 +79,19 @@ class MemoryManager:
         self._anon_capacity = plan.anon_capacity_pages
         self._unified = plan.unified
 
+        # File-eviction epoch: bumped whenever any page might leave the
+        # file pool (reclaim victims, explicit drops).  While the epoch
+        # is unchanged, a key sequence once verified fully resident is
+        # *still* fully resident — inserts never remove — so the stat
+        # fast path can skip membership checks and use the policy's
+        # replay token (see CachePolicy.replay_token).  Plain attribute
+        # (not a property): it is read once per fast-path probe.
+        self.file_epoch: int = 0
+        #: Bound pass-throughs for the per-probe fast path — one call
+        #: deep instead of a wrapper method per probe.
+        self.replay_file_touches = self._file_pool.replay
+        self.file_replay_token = self._file_pool.replay_token
+
         # Pull-style sources: read only when metrics are collected.  In
         # unified mode one pool serves both roles, so "cache.file"
         # covers every page class.  Never registered on the shared
@@ -135,6 +148,11 @@ class MemoryManager:
             return []
         batch = max(shortfall, self.config.reclaim_batch_pages)
         victims = pool.pop_victims(batch)
+        if victims and pool is self._file_pool:
+            # Pages left the file pool (or, on the OutOfMemory undo
+            # below, were re-inserted as fresh frames): either way any
+            # outstanding replay token may now be stale.
+            self.file_epoch += 1
         if len(victims) < shortfall:
             # Pool cannot shrink enough: the machine is truly out of memory.
             for entry in victims:
@@ -194,6 +212,17 @@ class MemoryManager:
         """
         return self._file_pool.touch_cached(key)
 
+    def touch_files_cached(self, keys: Sequence[PageKey]) -> bool:
+        """All-or-nothing clean touch of a resident key sequence.
+
+        The name-cache replay: when every key is cached this is exactly
+        ``len(keys)`` hit-path :meth:`touch_file` calls (same hit counts,
+        same recency updates, no victims — hits never over-fill the
+        pool); when any key is absent nothing changes and the caller
+        must take the slow walk.
+        """
+        return self._file_pool.touch_cached_many(keys)
+
     def touch_file(self, key: PageKey, dirty: bool = False) -> List[PageEntry]:
         """Reference (inserting if absent) a file or metadata page.
 
@@ -211,7 +240,10 @@ class MemoryManager:
     def drop_file_page(self, key: PageKey) -> bool:
         if self._file_pool.is_dirty(key):
             self._dirty_file_pages -= 1
-        return self._file_pool.remove(key)
+        removed = self._file_pool.remove(key)
+        if removed:
+            self.file_epoch += 1
+        return removed
 
     def mark_file_clean(self, key: PageKey) -> None:
         if self._file_pool.is_dirty(key):

@@ -23,6 +23,7 @@ from repro.icl.fldc import FLDC
 from repro.sim import Kernel, MachineConfig
 from repro.sim import syscalls as sc
 from repro.sim.errors import BadFileDescriptor, FileNotFound, InvalidArgument
+from repro.sim.inject import FaultInjector, InjectionConfig, LatencyNoise
 from repro.toolbox.repository import ParameterRepository
 from repro.workloads.files import make_file
 
@@ -371,6 +372,142 @@ class TestStatBatchEquivalence:
             yield sc.stat_batch([self.PATHS[0], "/mnt0/dir/ghost"])
         with pytest.raises(FileNotFound):
             kernel.run_process(app(), "bad")
+
+
+# ======================================================================
+# dcache invalidation adversary
+# ======================================================================
+class TestDcacheInvalidationAdversary:
+    """Namespace churn racing the name-lookup cache.
+
+    The dcache memoizes whole path walks, so the dangerous interleavings
+    are mutations *between* probes of the same path: a stale entry that
+    survives a rename/unlink/create serves the old namespace.  These
+    twins run an adversarial schedule — stat and stat_batch interleaved
+    with every generation-bumping mutation — on ``name_cache=True`` vs
+    ``name_cache=False`` kernels and require byte-identical probe
+    results, per-probe elapsed times, page-cache fingerprints, and
+    clocks.
+    """
+
+    DIR = "/mnt0/adv"
+
+    def _populate(self, kernel: Kernel, n: int = 10):
+        def build():
+            yield sc.mkdir(self.DIR)
+            for i in range(n):
+                fd = (yield sc.create(f"{self.DIR}/f{i}")).value
+                yield sc.write(fd, 700 + 97 * i)
+                yield sc.close(fd)
+        kernel.run_process(build(), "setup")
+        kernel.oracle.flush_file_cache()
+
+    def _adversary(self, seed: int, rounds: int = 40):
+        """A generator factory: the same seeded schedule each call."""
+        def script():
+            rng = random.Random(seed)
+            live = [f"{self.DIR}/f{i}" for i in range(10)]
+            fresh = 0
+            out = []
+            for _ in range(rounds):
+                op = rng.randrange(6)
+                if op == 0:  # single probe
+                    result = yield sc.stat(rng.choice(live))
+                    out.append((result.value, result.elapsed_ns))
+                elif op == 1:  # batched sweep, duplicates included
+                    paths = [rng.choice(live) for _ in range(6)]
+                    result = yield sc.stat_batch(paths)
+                    out.extend((p.stat, p.elapsed_ns) for p in result.value)
+                elif op == 2:  # rename a probed path out from under us
+                    victim = rng.randrange(len(live))
+                    fresh += 1
+                    target = f"{self.DIR}/mv{fresh}"
+                    yield sc.rename(live[victim], target)
+                    live[victim] = target
+                elif op == 3:  # unlink + recreate: same name, new inode
+                    victim = rng.choice(live)
+                    yield sc.unlink(victim)
+                    fd = (yield sc.create(victim)).value
+                    yield sc.write(fd, 300)
+                    yield sc.close(fd)
+                elif op == 4:  # grow the directory itself
+                    fresh += 1
+                    fd = (yield sc.create(f"{self.DIR}/new{fresh}")).value
+                    yield sc.close(fd)
+                    live.append(f"{self.DIR}/new{fresh}")
+                else:  # metadata mutation without a namespace change
+                    yield sc.utimes(rng.choice(live), 50, 60)
+            # One full sweep at the end: every surviving name resolves.
+            result = yield sc.stat_batch(sorted(live))
+            out.extend((p.stat, p.elapsed_ns) for p in result.value)
+            return out
+        return script
+
+    def _run(self, seed: int, name_cache: bool, noisy: bool):
+        kernel = Kernel(small_config(), name_cache=name_cache)
+        if noisy:
+            FaultInjector(
+                InjectionConfig(
+                    seed=seed,
+                    latency=LatencyNoise(
+                        jitter_ns=15_000, spike_prob=0.05,
+                        spike_ns=4_000_000, granularity_ns=5_000,
+                    ),
+                )
+            ).install(kernel)
+        self._populate(kernel)
+        out = kernel.run_process(self._adversary(seed)(), "adv")
+        # Fingerprint the directory: the adversary renames files, but
+        # the directory itself never moves.
+        return out, _cache_fingerprint(kernel, self.DIR)
+
+    @pytest.mark.parametrize("noisy", [False, True])
+    def test_differential_churn(self, noisy):
+        for case in range(8):
+            seed = 0xDCA + 613 * case
+            on = self._run(seed, name_cache=True, noisy=noisy)
+            off = self._run(seed, name_cache=False, noisy=noisy)
+            assert on == off, (
+                f"dcache divergence (noisy={noisy}): reproduce with "
+                f"seed={seed}"
+            )
+
+    def test_stale_entry_never_resolves_old_namespace(self):
+        """Point check: after mv f0 -> g, stat(f0) fails and stat(g)
+        returns f0's inode, with the walk memoized in between."""
+        kernel = Kernel(small_config())
+        self._populate(kernel)
+
+        def script():
+            before = (yield sc.stat(f"{self.DIR}/f0")).value
+            yield sc.stat(f"{self.DIR}/f0")  # memoized, replayed
+            yield sc.rename(f"{self.DIR}/f0", f"{self.DIR}/g")
+            after = (yield sc.stat(f"{self.DIR}/g")).value
+            try:
+                yield sc.stat(f"{self.DIR}/f0")
+            except FileNotFound:
+                return before, after, True
+            return before, after, False
+        before, after, missed = kernel.run_process(script(), "adv")
+        assert missed
+        assert after.ino == before.ino
+        assert after.ctime >= before.ctime  # rename stamps ctime
+
+    def test_recreated_name_resolves_new_inode(self):
+        kernel = Kernel(small_config())
+        self._populate(kernel)
+
+        def script():
+            old = (yield sc.stat(f"{self.DIR}/f3")).value
+            yield sc.unlink(f"{self.DIR}/f3")
+            fd = (yield sc.create(f"{self.DIR}/f3")).value
+            yield sc.write(fd, 42)
+            yield sc.close(fd)
+            new = (yield sc.stat(f"{self.DIR}/f3")).value
+            return old, new
+        old, new = kernel.run_process(script(), "adv")
+        assert new.size == 42
+        assert new.size != old.size
 
 
 # ======================================================================

@@ -247,6 +247,34 @@ class TestNamespace:
         with pytest.raises(FileExists):
             fs.rename(ROOT_INO, "x", ROOT_INO, "y", now_ns=0)
 
+    def test_rename_directory_into_own_subtree_rejected(self):
+        """mv a a/b/c must fail — it would orphan the whole subtree."""
+        fs = make_fs()
+        a = fs.create(ROOT_INO, "a", FileKind.DIRECTORY, now_ns=0)
+        b = fs.create(a.ino, "b", FileKind.DIRECTORY, now_ns=0)
+        with pytest.raises(InvalidArgument):
+            fs.rename(ROOT_INO, "a", b.ino, "c", now_ns=0)
+        # Nothing moved: the namespace is exactly as before.
+        assert fs.root.lookup("a") == a.ino
+        assert fs.directories[a.ino].parent_ino == ROOT_INO
+        assert fs.directories[b.ino].parent_ino == a.ino
+
+    def test_rename_directory_onto_itself_as_parent_rejected(self):
+        """The degenerate cycle: mv a a/x (new parent IS the victim)."""
+        fs = make_fs()
+        a = fs.create(ROOT_INO, "a", FileKind.DIRECTORY, now_ns=0)
+        with pytest.raises(InvalidArgument):
+            fs.rename(ROOT_INO, "a", a.ino, "x", now_ns=0)
+        assert fs.root.lookup("a") == a.ino
+
+    def test_rename_file_into_subtree_still_allowed(self):
+        """The cycle check applies to directories only."""
+        fs = make_fs()
+        a = fs.create(ROOT_INO, "a", FileKind.DIRECTORY, now_ns=0)
+        f = create_file(fs, "f", BLOCK)
+        fs.rename(ROOT_INO, "f", a.ino, "f", now_ns=0)
+        assert fs.directories[a.ino].lookup("f") == f.ino
+
     def test_readdir_order_is_insertion_order(self):
         fs = make_fs()
         for name in ("c", "a", "b"):

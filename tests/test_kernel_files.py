@@ -292,6 +292,39 @@ class TestMetadata:
             return data
         assert run(kernel, app()) == b"payload"
 
+    def test_rename_into_own_subtree_rejected(self, kernel):
+        """mv /mnt0/a /mnt0/a/b/c at the syscall layer: InvalidArgument,
+        and the tree is untouched afterwards."""
+        def app():
+            yield sc.mkdir("/mnt0/a")
+            yield sc.mkdir("/mnt0/a/b")
+            try:
+                yield sc.rename("/mnt0/a", "/mnt0/a/b/c")
+            except InvalidArgument:
+                pass
+            else:
+                raise AssertionError("cycle-creating rename was accepted")
+            # Both directories still resolve through their old paths.
+            a = (yield sc.stat("/mnt0/a")).value
+            b = (yield sc.stat("/mnt0/a/b")).value
+            return a.kind.name, b.kind.name
+        assert run(kernel, app()) == ("DIRECTORY", "DIRECTORY")
+
+    def test_utimes_updates_ctime(self, kernel):
+        """utimes sets atime/mtime from its arguments but must stamp
+        ctime from *now* — the inode change itself is a change."""
+        def app():
+            fd = (yield sc.create("/mnt0/f")).value
+            yield sc.close(fd)
+            yield sc.sleep(3 * 10**9)  # move the clock past second 0
+            yield sc.utimes("/mnt0/f", 111, 222)
+            now_s = (yield sc.gettime()).value // 10**9
+            st = (yield sc.stat("/mnt0/f")).value
+            return st, now_s
+        st, now_s = run(kernel, app())
+        assert (st.atime, st.mtime) == (111, 222)
+        assert st.ctime == now_s  # not 0 (creation), not 111/222 (args)
+
     def test_rename_across_mounts_rejected(self):
         kernel = Kernel(small_config(data_disks=2))
         def app():

@@ -253,6 +253,105 @@ def test_differential_batch_vs_sequential(noisy):
         )
 
 
+def churn_probe_process(seed: int, steps: int):
+    """Metadata probes racing namespace churn, for the dcache twins.
+
+    Every observation a process could use to distinguish the memoizing
+    name cache from raw walks — stat fields, per-probe elapsed times,
+    readdir listings, which paths exist at all — is folded into the
+    returned fingerprint.  Unlike :func:`probe_process` this stream is
+    mutation-heavy: rename, unlink-then-recreate, and directory growth
+    interleave with the probes, so any stale dcache entry shows up as a
+    fingerprint divergence (wrong inode, wrong times, or a probe that
+    should have failed but didn't).
+    """
+    rng = random.Random(seed)
+    yield sc.mkdir("/mnt0/churn")
+    live = []
+    for i in range(6):
+        path = f"/mnt0/churn/c{i}"
+        fd = (yield sc.create(path)).value
+        yield sc.write(fd, 500 + 131 * i)
+        yield sc.close(fd)
+        live.append(path)
+    fingerprint = []
+    fresh = 0
+    for _ in range(steps):
+        action = rng.randrange(7)
+        try:
+            if action == 0:
+                result = yield sc.stat(rng.choice(live))
+                stat = result.value
+                fingerprint.append(
+                    (stat.ino, stat.size, stat.mtime, stat.ctime,
+                     result.elapsed_ns)
+                )
+            elif action == 1:
+                paths = [rng.choice(live) for _ in range(rng.randrange(1, 5))]
+                result = yield sc.stat_batch(paths)
+                for probe in result.value:
+                    fingerprint.append(
+                        (probe.stat.ino, probe.stat.size, probe.stat.mtime,
+                         probe.stat.ctime, probe.elapsed_ns)
+                    )
+            elif action == 2:
+                victim = rng.randrange(len(live))
+                fresh += 1
+                target = f"/mnt0/churn/r{fresh}"
+                yield sc.rename(live[victim], target)
+                live[victim] = target
+            elif action == 3:
+                victim = rng.choice(live)
+                yield sc.unlink(victim)
+                fd = (yield sc.create(victim)).value
+                yield sc.write(fd, rng.randrange(1, 2048))
+                yield sc.close(fd)
+            elif action == 4:
+                fresh += 1
+                path = f"/mnt0/churn/n{fresh}"
+                fd = (yield sc.create(path)).value
+                yield sc.close(fd)
+                live.append(path)
+            elif action == 5:
+                names = (yield sc.readdir("/mnt0/churn")).value
+                fingerprint.append(tuple(names))
+            else:
+                # A probe of a name that churn may have moved away: the
+                # error-vs-success outcome is part of the fingerprint.
+                fresh_name = f"/mnt0/churn/r{rng.randrange(1, fresh + 2)}"
+                try:
+                    stat = (yield sc.stat(fresh_name)).value
+                    fingerprint.append(("hit", stat.ino))
+                except SimOSError:
+                    fingerprint.append(("miss", fresh_name))
+        except SimOSError:
+            continue
+    return hashlib.sha256(repr(fingerprint).encode()).hexdigest()
+
+
+def _run_churn_twin(seed: int, name_cache: bool, noisy: bool):
+    kernel = Kernel(small_config(), name_cache=name_cache)
+    if noisy:
+        FaultInjector(_probe_jitter_config(seed)).install(kernel)
+    digest = kernel.run_process(churn_probe_process(seed, 40), "churn")
+    return digest, kernel.clock.now, state_digest(kernel)
+
+
+@pytest.mark.parametrize("noisy", [False, True])
+def test_differential_dcache_on_vs_off(noisy):
+    """30 twin pairs per mode: a kernel with the name-lookup cache is
+    byte-indistinguishable from one without it, under namespace churn
+    designed to leave stale walk memos behind."""
+    for case in range(30):
+        seed = 0xDCAC + 389 * case
+        on = _run_churn_twin(seed, name_cache=True, noisy=noisy)
+        off = _run_churn_twin(seed, name_cache=False, noisy=noisy)
+        assert on == off, (
+            f"dcache on/off divergence (noisy={noisy}): reproduce with "
+            f"seed={seed} ({on} != {off})"
+        )
+
+
 def test_differential_inert_injector_is_noop():
     """40 twin pairs: an all-defaults injector changes nothing."""
     for case in range(40):

@@ -355,6 +355,34 @@ class TestKernelIntegration:
             report = observe_figure(scenario)
             assert report.spans(span_name), scenario
 
+    def test_fldc_probe_span_names_distinguish_batch_from_sweep(self):
+        """The vectored probe records ``fldc.stat_batch``; the
+        sequential fallback records ``fldc.stat_sweep`` — distinct
+        names, so exported JSONL can tell the two probe shapes apart."""
+        from repro.icl.fldc import FLDC
+
+        paths = [f"/mnt0/d/f{i}" for i in range(6)]
+        for batch, expected, absent in (
+            (True, "fldc.stat_batch", "fldc.stat_sweep"),
+            (False, "fldc.stat_sweep", "fldc.stat_batch"),
+        ):
+            kernel = Kernel(MachineConfig())
+
+            def populate():
+                yield sc.mkdir("/mnt0/d")
+                for path in paths:
+                    fd = (yield sc.create(path)).value
+                    yield sc.close(fd)
+            kernel.run_process(populate(), "setup")
+            fldc = FLDC(obs=kernel.obs, batch_probes=batch)
+
+            def app():
+                return (yield from fldc.layout_order(paths))
+            kernel.run_process(app(), "fldc")
+            names = {r["name"] for r in kernel.obs.events.spans()}
+            assert expected in names, (batch, names)
+            assert absent not in names, (batch, names)
+
 
 # ======================================================================
 # Runner capture
