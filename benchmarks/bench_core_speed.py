@@ -26,6 +26,12 @@ run against a baseline file — ratios, not absolute throughput, so the
 gate is meaningful across machines — and exits non-zero when the
 batched path's advantage has regressed by more than 20%.
 
+``--profile`` runs one extra, *separate* pass with the
+:mod:`repro.obs.profile` section profiler enabled and attaches the
+hot-path breakdown (top host-time sections) to the artifact under
+``"profile"``.  The gated measurements always come from the unprofiled
+pass, so profiling overhead can never contaminate a gate.
+
 Under pytest this module contributes one smoke test asserting the
 headline target: ≥3× pread-probe throughput on the batched path.
 """
@@ -401,6 +407,47 @@ def run_suite(smoke: bool = False) -> Dict:
     }
 
 
+def run_profile_pass(smoke: bool = False) -> Dict:
+    """One profiled pass over the probe benches; returns the breakdown.
+
+    Runs *after* (and independently of) the gated suite: the profiler is
+    enabled only inside this function, so its per-hook cost is visible
+    here and nowhere else.  Sections named ``syscall.*`` /
+    ``sched.next_ready`` / ``proc.advance`` locate the dispatch loop's
+    time; dotted batch subsections (``pread_batch.fallback`` …) nest
+    inside their syscall section — see :mod:`repro.obs.profile`.
+    """
+    from repro.obs.profile import PROFILER
+
+    if smoke:
+        params = dict(
+            pread=dict(n_probes=4_000, batch_size=256),
+            touch=dict(n_pages=4_000, rounds=1, batch_size=256),
+            stat=dict(n_files=200, rounds=4, batch_size=100),
+            fig2=dict(size_mb=16, prediction_unit=64 * KIB),
+        )
+    else:
+        params = dict(
+            pread=dict(n_probes=40_000, batch_size=256),
+            touch=dict(n_pages=8_000, rounds=5, batch_size=256),
+            stat=dict(n_files=500, rounds=16, batch_size=250),
+            fig2=dict(size_mb=48, prediction_unit=16 * KIB),
+        )
+    PROFILER.clear()
+    PROFILER.enable()
+    try:
+        bench_pread_probes(**params["pread"])
+        bench_touch_probes(**params["touch"])
+        bench_stat_probes(**params["stat"])
+        bench_fig2_scan(**params["fig2"])
+    finally:
+        PROFILER.disable()
+    rows = PROFILER.rows()
+    report = PROFILER.report(top=10)
+    PROFILER.clear()
+    return {"top_sections": rows[:10], "table": report}
+
+
 def check_regression(current: Dict, baseline: Dict) -> List[str]:
     """Speedup-ratio gate; returns a list of failure messages."""
     failures = []
@@ -461,11 +508,20 @@ def main(argv: List[str] = None) -> int:
         "--check", type=Path, default=None, metavar="BASELINE",
         help="compare speedups against a baseline JSON; exit 1 on >20%% regression",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="add a separate profiled pass; hot-path table lands in the artifact",
+    )
     args = parser.parse_args(argv)
 
     current = run_suite(smoke=args.smoke)
     for key, entry in current["results"].items():
         print(f"{key}: {json.dumps(entry)}")
+
+    if args.profile:
+        current["profile"] = run_profile_pass(smoke=args.smoke)
+        print("\nhost-time hot paths (profiled pass, not gated):")
+        print(current["profile"]["table"])
 
     if args.check is not None:
         baseline = json.loads(args.check.read_text())

@@ -19,9 +19,11 @@ unchanged experiment is instant; per-experiment trial telemetry is
 printed to stderr.
 
 ``observe <scenario>`` runs one always-instrumented scenario (``scan``,
-``fldc``, ``mac``) and dumps every metric, event, and span as JSONL;
-``--metrics-out FILE`` writes the runner telemetry and per-trial metric
-samples of any figure/ablation run to JSONL for offline analysis.
+``fldc``, ``mac``, ``contention``) and dumps every metric, event, and
+span as JSONL; ``--chrome-trace FILE`` additionally writes a
+Perfetto-loadable Chrome trace of the run; ``--metrics-out FILE``
+writes the runner telemetry and per-trial metric samples of any
+figure/ablation run to JSONL for offline analysis.
 """
 
 from __future__ import annotations
@@ -73,7 +75,8 @@ EXPERIMENTS: Dict[str, Callable] = {
 USAGE = (
     "usage: python -m repro <name> [<name> ...] [--jobs N] [--no-cache]"
     " [--cache-dir DIR] [--plot] [--metrics-out FILE]\n"
-    "       python -m repro observe [scan|fldc|mac] [--out FILE]"
+    "       python -m repro observe [scan|fldc|mac|contention]"
+    " [--out FILE] [--chrome-trace FILE]"
 )
 
 
@@ -90,6 +93,7 @@ def main(argv) -> int:
     cache_dir = None
     metrics_out = None
     out_path = None
+    chrome_trace = None
     names: List[str] = []
     i = 0
     while i < len(args):
@@ -98,7 +102,8 @@ def main(argv) -> int:
             plot = True
         elif arg == "--no-cache":
             use_cache = False
-        elif arg in ("--jobs", "--cache-dir", "--metrics-out", "--out"):
+        elif arg in ("--jobs", "--cache-dir", "--metrics-out", "--out",
+                     "--chrome-trace"):
             if i + 1 >= len(args):
                 print(f"{arg} needs a value", file=sys.stderr)
                 print(USAGE, file=sys.stderr)
@@ -117,12 +122,16 @@ def main(argv) -> int:
                 cache_dir = value
             elif arg == "--metrics-out":
                 metrics_out = value
+            elif arg == "--chrome-trace":
+                chrome_trace = value
             else:
                 out_path = value
         elif arg.startswith("--metrics-out="):
             metrics_out = arg.split("=", 1)[1]
         elif arg.startswith("--out="):
             out_path = arg.split("=", 1)[1]
+        elif arg.startswith("--chrome-trace="):
+            chrome_trace = arg.split("=", 1)[1]
         elif arg.startswith("--jobs="):
             try:
                 jobs = int(arg.split("=", 1)[1])
@@ -164,7 +173,14 @@ def main(argv) -> int:
                 dest = out_path
             else:
                 dest = f"observe-{scenario}.jsonl"
-            report = observe_figure(scenario, out_path=dest)
+            if chrome_trace is not None and len(scenarios) == 1:
+                chrome_dest = chrome_trace
+            elif chrome_trace is not None:
+                chrome_dest = f"observe-{scenario}.trace.json"
+            else:
+                chrome_dest = None
+            report = observe_figure(scenario, out_path=dest,
+                                    chrome_trace=chrome_dest)
             print(report.render())
             print()
         return 0

@@ -18,6 +18,15 @@ overlap on the simulated timeline:
 * ``mac`` — MAC grows an allocation against a competitor:
   ``mac.gb_alloc`` / ``mac.alloc_round`` spans against fault counters
   and reclaim events.
+* ``contention`` — two FCCD clients share one kernel, each probing its
+  own cache-sized file, so every probe miss evicts the *other* client's
+  pages.  Attribution splits the interleaved stream back into per-client
+  views and the report prints the who-evicted-whom interference matrix
+  (:mod:`repro.obs.views`) — the paper's probe-perturbation tension as
+  a table.
+
+Any scenario can also be exported as a Perfetto-loadable Chrome trace
+(``--chrome-trace out.json``, :mod:`repro.obs.chrome`).
 """
 
 from __future__ import annotations
@@ -33,8 +42,10 @@ from repro.icl.mac import MAC
 from repro.obs.export import (
     summarize_events,
     summarize_metrics,
+    summarize_pids,
     write_jsonl,
 )
+from repro.obs.views import interference_matrix, process_names, render_matrix
 from repro.sim import Kernel, MachineConfig
 from repro.sim import syscalls as sc
 from repro.workloads.files import age_directory, create_files, make_file
@@ -42,7 +53,7 @@ from repro.workloads.files import age_directory, create_files, make_file
 KIB = 1024
 MIB = 1024 * 1024
 
-SCENARIOS = ("scan", "fldc", "mac")
+SCENARIOS = ("scan", "fldc", "mac", "contention")
 
 OBSERVE_SEED = 0x0B5E12
 
@@ -64,6 +75,7 @@ class ObserveReport:
     scenario: str
     records: List[Dict[str, Any]] = field(default_factory=list)
     out_path: Optional[str] = None
+    chrome_path: Optional[str] = None
     result: Any = None
 
     def spans(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
@@ -88,14 +100,30 @@ class ObserveReport:
         lo, hi = span["start_ns"], span.get("end_ns", span["start_ns"])
         return [e for e in self.events(name) if lo <= e["t_ns"] <= hi]
 
+    def interference(self) -> Dict[int, Dict[int, int]]:
+        """Who-evicted-whom counts over this run's reclaim events."""
+        return interference_matrix(self.records)
+
     def render(self) -> str:
         parts = [f"== observe: {self.scenario} =="]
         parts.append(summarize_metrics(self.metrics()))
         parts.append("")
         parts.append(summarize_events(self.records))
+        parts.append("")
+        parts.append(summarize_pids(self.records))
+        matrix = self.interference()
+        if matrix:
+            parts.append("")
+            parts.append("interference matrix (reclaim events, evictor x victim):")
+            parts.append(render_matrix(matrix, process_names(self.records)))
         if self.out_path:
             parts.append("")
             parts.append(f"wrote {len(self.records)} record(s) to {self.out_path}")
+        if self.chrome_path:
+            parts.append(
+                f"wrote Chrome trace to {self.chrome_path}"
+                f" (open at https://ui.perfetto.dev)"
+            )
         return "\n".join(parts)
 
 
@@ -181,10 +209,48 @@ def _mac_scenario(kernel: Kernel, config: MachineConfig, seed: int) -> Any:
     return proc.result
 
 
+def _contention_scenario(kernel: Kernel, config: MachineConfig, seed: int) -> Any:
+    """Two FCCD clients share the kernel; each probe evicts the other.
+
+    Each client's file is ~70% of memory, so the two working sets cannot
+    coexist: client A's probe misses reclaim client B's pages and vice
+    versa.  The clients interleave batch-by-batch on the scheduler, and
+    attribution turns the shared stream into per-client views plus a
+    non-trivial interference matrix — which is what the acceptance test
+    asserts.
+    """
+    paths = {"client_a": "/mnt0/client_a.dat", "client_b": "/mnt0/client_b.dat"}
+    nbytes = config.available_bytes * 7 // 10
+
+    def client(offset: int, path: str):
+        # Each client writes its own file, so its pages are *owned* by
+        # it — evicting them is attributable cross-client interference.
+        yield from make_file(path, nbytes, sync=False)
+        fccd = FCCD(
+            rng=random.Random(seed + offset),
+            access_unit_bytes=4 * MIB,
+            prediction_unit_bytes=256 * KIB,
+            obs=kernel.obs,
+        )
+        plan = yield from fccd.plan_file(path, rounds=2)
+        return plan.total_probes
+
+    procs = {
+        name: kernel.spawn(client(i, path), name)
+        for i, (name, path) in enumerate(sorted(paths.items()))
+    }
+    kernel.run()
+    return {
+        "pids": {name: proc.pid for name, proc in procs.items()},
+        "probes": {name: proc.result for name, proc in procs.items()},
+    }
+
+
 _SCENARIO_FNS = {
     "scan": _scan_scenario,
     "fldc": _fldc_scenario,
     "mac": _mac_scenario,
+    "contention": _contention_scenario,
 }
 
 
@@ -196,8 +262,13 @@ def observe_figure(
     out_path: Optional[str] = None,
     config: Optional[MachineConfig] = None,
     seed: int = OBSERVE_SEED,
+    chrome_trace: Optional[str] = None,
 ) -> ObserveReport:
-    """Run one scenario with observability on; optionally dump JSONL."""
+    """Run one scenario with observability on; optionally dump JSONL.
+
+    ``chrome_trace`` additionally writes the event stream as a Chrome
+    ``trace_event`` file Perfetto loads directly (one track per pid).
+    """
     if scenario not in _SCENARIO_FNS:
         raise ValueError(
             f"unknown scenario {scenario!r}; choose from {', '.join(SCENARIOS)}"
@@ -210,4 +281,9 @@ def observe_figure(
     if out_path is not None:
         write_jsonl(Path(out_path), records)
         report.out_path = str(out_path)
+    if chrome_trace is not None:
+        from repro.obs.chrome import write_chrome_trace
+
+        write_chrome_trace(Path(chrome_trace), records)
+        report.chrome_path = str(chrome_trace)
     return report

@@ -67,11 +67,34 @@ class Observability:
         # kernel's dispatch loop pays one dict lookup, not an f-string
         # plus two registry lookups, per call.
         self._syscall_instruments: Dict[str, tuple] = {}
+        #: Pid of the currently-dispatched process (attribution source
+        #: for events, spans, and the per-pid syscall ledger); ``None``
+        #: host-side.  Written by :meth:`set_pid` from the kernel's
+        #: step loop.
+        self.current_pid: Optional[int] = None
+        #: Per-pid syscall ledger: ``{pid: {syscall_name: count}}``.
+        #: Kept out of the metrics registry so cross-trial merges never
+        #: collide across pids; exported as one ``pid_stats`` record per
+        #: pid by :meth:`dump_records`.
+        self.syscalls_by_pid: Dict[int, Dict[str, int]] = {}
+        # (pid, its ledger dict) memo: consecutive syscalls from the
+        # same process — the common schedule — skip the outer lookup.
+        self._ledger_pid: Optional[int] = None
+        self._ledger: Dict[str, int] = {}
         if enabled and _ACTIVE_CAPTURE is not None:
             _ACTIVE_CAPTURE.attach(self)
 
     def now(self) -> int:
         return self._clock.now if self._clock is not None else 0
+
+    def set_pid(self, pid: Optional[int]) -> None:
+        """Attribute subsequent records to ``pid`` (``None`` detaches).
+
+        Called by the kernel once per dispatched process; two attribute
+        writes, so it is safe on the hottest loop.
+        """
+        self.current_pid = pid
+        self.events.current_pid = pid
 
     # -- metrics ---------------------------------------------------------
     def count(self, name: str, amount: int = 1) -> None:
@@ -87,7 +110,13 @@ class Observability:
             self.metrics.histogram(name).observe(value)
 
     def record_syscall(self, name: str, elapsed_ns: int) -> None:
-        """Hot path: one count and one latency observation per syscall."""
+        """Hot path: one count, one latency observation, one ledger bump.
+
+        The per-pid ledger attributes the call to :attr:`current_pid`
+        (three dict operations — cheap next to the histogram's bucket
+        search).  Ledger invariant, checked by the kernel fuzzer: the
+        per-pid counts sum to the aggregate ``.calls`` counters.
+        """
         if not self.enabled:
             return
         pair = self._syscall_instruments.get(name)
@@ -99,6 +128,17 @@ class Observability:
             self._syscall_instruments[name] = pair
         pair[0].value += 1
         pair[1].observe(elapsed_ns)
+        pid = self.current_pid
+        if pid is not None:
+            if pid == self._ledger_pid:
+                by_pid = self._ledger
+            else:
+                by_pid = self.syscalls_by_pid.get(pid)
+                if by_pid is None:
+                    self.syscalls_by_pid[pid] = by_pid = {}
+                self._ledger_pid = pid
+                self._ledger = by_pid
+            by_pid[name] = by_pid.get(name, 0) + 1
 
     def record_syscall_error(self, name: str) -> None:
         if self.enabled:
@@ -134,10 +174,16 @@ class Observability:
         return self.metrics.collect()
 
     def dump_records(self) -> Iterator[Dict[str, Any]]:
-        """Metrics then events/spans, ready for ``write_jsonl``."""
+        """Metrics, per-pid ledgers, then events/spans (``write_jsonl``-ready)."""
         from repro.obs.export import event_records
 
         yield from self.collect()
+        for pid in sorted(self.syscalls_by_pid):
+            yield {
+                "type": "pid_stats",
+                "pid": pid,
+                "syscalls": dict(self.syscalls_by_pid[pid]),
+            }
         yield from event_records(self.events)
 
 

@@ -1,0 +1,148 @@
+"""Chrome ``trace_event`` export — view simulated time in Perfetto.
+
+Converts the attribution-stamped span/event stream (JSONL records from
+:meth:`~repro.obs.Observability.dump_records` or a live
+:class:`~repro.obs.events.EventStream`) into the Chrome trace-event
+JSON format that https://ui.perfetto.dev and ``chrome://tracing`` load
+directly:
+
+* the whole simulated machine is one trace process (``pid`` 1);
+* each simulated process is one **track** (trace ``tid`` = simulated
+  pid, named from its ``kernel.spawn`` event; ``tid`` 0 is the
+  ``(kernel)`` track for unattributed records);
+* spans become complete events (``"ph": "X"``) with microsecond
+  ``ts``/``dur`` derived from simulated nanoseconds;
+* point events (reclaims, faults, spawns) become async instants
+  (``"ph": "n"``) so they render as markers over the span tracks.
+
+Timestamps are *simulated* microseconds — the timeline you see in
+Perfetto is the machine's time, not the host's.  Usage::
+
+    python -m repro.obs.export --chrome-trace out.json events.jsonl
+    # or from ``python -m repro observe <scenario> --chrome-trace out.json``
+
+then drag ``out.json`` into the Perfetto UI.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Union
+
+__all__ = ["chrome_trace_events", "write_chrome_trace"]
+
+#: All simulated activity lives in one trace-process.
+TRACE_PID = 1
+
+#: Track id for records no simulated process was dispatched for.
+KERNEL_TRACK = 0
+
+
+def _track_metadata(names: Dict[int, str], tids: Iterable[int]) -> List[Dict[str, Any]]:
+    meta: List[Dict[str, Any]] = [
+        {
+            "ph": "M", "name": "process_name", "pid": TRACE_PID, "tid": 0,
+            "args": {"name": "repro simulated machine"},
+        }
+    ]
+    for tid in sorted(set(tids)):
+        if tid == KERNEL_TRACK:
+            label = "(kernel)"
+        else:
+            comm = names.get(tid, "")
+            label = f"pid {tid} {comm}".rstrip()
+        meta.append(
+            {
+                "ph": "M", "name": "thread_name", "pid": TRACE_PID,
+                "tid": tid, "args": {"name": label},
+            }
+        )
+        # Sort tracks by simulated pid, kernel track last.
+        meta.append(
+            {
+                "ph": "M", "name": "thread_sort_index", "pid": TRACE_PID,
+                "tid": tid,
+                "args": {"sort_index": 1_000_000 if tid == KERNEL_TRACK else tid},
+            }
+        )
+    return meta
+
+
+def chrome_trace_events(
+    records: Iterable[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """The stream as a list of Chrome ``traceEvents`` dicts.
+
+    Non-event records (metrics, ``pid_stats``, ``run_stats``, ``meta``)
+    are skipped; unclosed spans (``end_ns`` null) are skipped too — the
+    validator, not the exporter, is where those should fail loudly.
+    """
+    out: List[Dict[str, Any]] = []
+    names: Dict[int, str] = {}
+    tids_seen: Dict[int, bool] = {}
+    for record in records:
+        kind = record.get("type")
+        tid = int(record.get("pid", KERNEL_TRACK))
+        if kind == "span":
+            start = record.get("start_ns")
+            end = record.get("end_ns")
+            if start is None or end is None:
+                continue
+            tids_seen[tid] = True
+            entry: Dict[str, Any] = {
+                "name": str(record.get("name", "?")),
+                "ph": "X",
+                "cat": "span",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "ts": start / 1000.0,
+                "dur": (end - start) / 1000.0,
+            }
+            args = dict(record.get("attrs") or {})
+            if record.get("span_id") is not None:
+                args["span_id"] = record["span_id"]
+            if record.get("parent_id") is not None:
+                args["parent_id"] = record["parent_id"]
+            if args:
+                entry["args"] = args
+            out.append(entry)
+        elif kind == "event":
+            name = str(record.get("name", "?"))
+            attrs = record.get("attrs") or {}
+            if name == "kernel.spawn" and "pid" in attrs:
+                names[int(attrs["pid"])] = str(attrs.get("comm", ""))
+            tids_seen[tid] = True
+            entry = {
+                "name": name,
+                # Async nestable instant: renders as a marker row over
+                # the track rather than a zero-width slice inside it.
+                "ph": "n",
+                "cat": "event",
+                "id": tid,
+                "pid": TRACE_PID,
+                "tid": tid,
+                "ts": (record.get("t_ns") or 0) / 1000.0,
+            }
+            if attrs:
+                entry["args"] = dict(attrs)
+            out.append(entry)
+    return _track_metadata(names, tids_seen) + out
+
+
+def write_chrome_trace(
+    path: Union[str, Path],
+    records: Iterable[Dict[str, Any]],
+) -> int:
+    """Write a Perfetto-loadable trace file; returns the event count.
+
+    The count excludes the ``"ph": "M"`` metadata entries, so tests can
+    assert it against the stream's span+event total.
+    """
+    events = chrome_trace_events(records)
+    payload = {"traceEvents": events, "displayTimeUnit": "ns"}
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, default=str))
+    return sum(1 for e in events if e["ph"] != "M")

@@ -19,6 +19,14 @@ Misuse mirrors :class:`~repro.toolbox.timers.Stopwatch`: ``end()``
 before ``start()`` raises ``RuntimeError``, as does ending twice.
 Spans left open are surfaced by :meth:`EventStream.unclosed` and, in
 strict mode, :meth:`EventStream.check_closed` raises.
+
+**Attribution.**  The stream carries a :attr:`EventStream.current_pid`
+slot, set by the kernel to the pid of the currently-dispatched process
+(see ``Kernel._step``).  Every record emitted and every span *started*
+while a pid is current is stamped with it (``"pid"``) — host-side
+metadata only, invisible to simulated time — which is what lets N
+clients sharing one kernel each read back a filtered stream
+(:class:`repro.obs.views.ObsView`).
 """
 
 from __future__ import annotations
@@ -38,7 +46,7 @@ class Span:
     """
 
     __slots__ = ("stream", "name", "attrs", "span_id", "parent_id",
-                 "start_ns", "end_ns")
+                 "start_ns", "end_ns", "pid")
 
     def __init__(self, stream: "EventStream", name: str,
                  attrs: Dict[str, Any]) -> None:
@@ -49,12 +57,14 @@ class Span:
         self.parent_id: Optional[int] = None
         self.start_ns: Optional[int] = None
         self.end_ns: Optional[int] = None
+        self.pid: Optional[int] = None
 
     def start(self) -> "Span":
         if self.span_id is not None:
             raise RuntimeError(f"span {self.name!r} started twice")
         self.span_id = self.stream._open_span(self)
         self.start_ns = self.stream.now()
+        self.pid = self.stream.current_pid
         return self
 
     def end(self) -> int:
@@ -83,6 +93,8 @@ class Span:
         }
         if self.start_ns is not None and self.end_ns is not None:
             record["elapsed_ns"] = self.end_ns - self.start_ns
+        if self.pid is not None:
+            record["pid"] = self.pid
         if self.attrs:
             record["attrs"] = dict(self.attrs)
         return record
@@ -123,11 +135,17 @@ class EventStream:
         self.records: Deque[Dict[str, Any]] = deque(maxlen=capacity)
         self._open: List[Span] = []
         self._next_span_id = 1
+        #: Pid of the currently-dispatched simulated process (set by the
+        #: kernel's step loop, ``None`` between dispatches / host-side).
+        #: Stamped onto every emitted record and every started span.
+        self.current_pid: Optional[int] = None
 
     # -- recording -------------------------------------------------------
     def emit(self, name: str, **attrs: Any) -> Dict[str, Any]:
         record: Dict[str, Any] = {"type": "event", "name": name,
                                   "t_ns": self.now()}
+        if self.current_pid is not None:
+            record["pid"] = self.current_pid
         if attrs:
             record["attrs"] = attrs
         self.records.append(record)

@@ -4,7 +4,10 @@ Every record is one JSON object per line — metrics, events, spans, and
 runner telemetry share the artifact, distinguished by their ``type``
 field (``metric`` / ``event`` / ``span`` / ``run_stats`` / ``meta``).
 CI validates the artifact with ``python -m repro.obs.export --validate
-FILE...``, which exits non-zero on the first malformed line.
+FILE...``, which exits non-zero on the first malformed line or span
+pairing/attribution violation, and ``--chrome-trace OUT.json FILE...``
+converts validated artifacts into a Perfetto-loadable trace
+(:mod:`repro.obs.chrome`).
 """
 
 from __future__ import annotations
@@ -41,13 +44,25 @@ def read_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
 
 
 def validate_jsonl(path: Union[str, Path]) -> int:
-    """Check every line parses as a JSON object with a ``type`` field.
+    """Validate a JSONL artifact; returns the record count.
 
-    Returns the record count; raises ``ValueError`` naming the first
-    offending line otherwise.  This is the check CI runs against the
-    artifacts the smoke run uploads.
+    Two passes.  Line pass: every line parses as a JSON object with a
+    ``type`` field.  Stream pass (span pairing and attribution):
+
+    * a span closed without ever opening (``end_ns`` set, ``start_ns``
+      or ``span_id`` missing) is an error;
+    * ``end_ns`` earlier than ``start_ns`` is an error (simulated time
+      never runs backward);
+    * duplicate ``span_id`` values are an error;
+    * if the stream carries ``kernel.spawn`` events (any attributed
+      kernel dump does), a record stamped with a pid the kernel never
+      spawned is an error.  Files without spawn events (runner metric
+      dumps) skip the pid check.
+
+    Raises ``ValueError`` naming the first offending line.  This is the
+    check CI runs against the artifacts the smoke run uploads.
     """
-    count = 0
+    records: List[Dict[str, Any]] = []
     for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
         if not line.strip():
             raise ValueError(f"{path}:{lineno}: blank line in JSONL output")
@@ -59,8 +74,49 @@ def validate_jsonl(path: Union[str, Path]) -> int:
             raise ValueError(
                 f"{path}:{lineno}: record is not an object with a 'type' field"
             )
-        count += 1
-    return count
+        records.append(record)
+
+    # Stream pass: collect the legitimate pid set first (spawn events may
+    # legally appear anywhere relative to the records they legitimize).
+    spawned = {
+        int(r["attrs"]["pid"])
+        for r in records
+        if r.get("type") == "event" and r.get("name") == "kernel.spawn"
+        and "pid" in (r.get("attrs") or {})
+    }
+    seen_span_ids: Dict[int, int] = {}
+    for lineno, record in enumerate(records, start=1):
+        kind = record.get("type")
+        if kind == "span":
+            span_id = record.get("span_id")
+            if record.get("end_ns") is not None and (
+                span_id is None or record.get("start_ns") is None
+            ):
+                raise ValueError(
+                    f"{path}:{lineno}: span {record.get('name')!r} closed "
+                    f"without opening (missing span_id/start_ns)"
+                )
+            if span_id is not None:
+                if span_id in seen_span_ids:
+                    raise ValueError(
+                        f"{path}:{lineno}: duplicate span_id {span_id} "
+                        f"(first seen on line {seen_span_ids[span_id]})"
+                    )
+                seen_span_ids[span_id] = lineno
+            start, end = record.get("start_ns"), record.get("end_ns")
+            if start is not None and end is not None and end < start:
+                raise ValueError(
+                    f"{path}:{lineno}: span {record.get('name')!r} ends "
+                    f"before it starts ({end} < {start})"
+                )
+        if spawned and kind in ("event", "span"):
+            pid = record.get("pid")
+            if pid is not None and pid != 0 and pid not in spawned:
+                raise ValueError(
+                    f"{path}:{lineno}: record attributed to pid {pid}, "
+                    f"which the kernel never spawned"
+                )
+    return len(records)
 
 
 # ----------------------------------------------------------------------
@@ -196,20 +252,107 @@ def summarize_events(records: Iterable[Dict[str, Any]]) -> str:
     return "\n".join(lines)
 
 
+def summarize_pids(records: Iterable[Dict[str, Any]]) -> str:
+    """Per-process rollup: events, spans, and span self-time per pid.
+
+    Self-time charges each span with its own duration minus its direct
+    children's (via ``parent_id``), so one pid's column sums to time it
+    actually spent, not time double-counted through nesting.  Pid 0 is
+    the unattributed/kernel bucket; process names come from
+    ``kernel.spawn`` events when present.
+    """
+    records = list(records)
+    names: Dict[int, str] = {}
+    elapsed_by_id: Dict[int, int] = {}
+    child_time: Dict[int, int] = {}
+    per_pid: Dict[int, Dict[str, int]] = {}
+
+    def bucket(pid: int) -> Dict[str, int]:
+        agg = per_pid.get(pid)
+        if agg is None:
+            per_pid[pid] = agg = {"events": 0, "spans": 0, "self_ns": 0}
+        return agg
+
+    for record in records:
+        kind = record.get("type")
+        if kind == "event":
+            attrs = record.get("attrs") or {}
+            if record.get("name") == "kernel.spawn" and "pid" in attrs:
+                names[int(attrs["pid"])] = str(attrs.get("comm", ""))
+            bucket(record.get("pid", 0))["events"] += 1
+        elif kind == "span":
+            span_id = record.get("span_id")
+            elapsed = record.get("elapsed_ns") or 0
+            if span_id is not None:
+                elapsed_by_id[span_id] = elapsed
+            parent = record.get("parent_id")
+            if parent is not None:
+                child_time[parent] = child_time.get(parent, 0) + elapsed
+            agg = bucket(record.get("pid", 0))
+            agg["spans"] += 1
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        span_id = record.get("span_id")
+        elapsed = record.get("elapsed_ns") or 0
+        self_ns = elapsed - child_time.get(span_id, 0) if span_id is not None else elapsed
+        bucket(record.get("pid", 0))["self_ns"] += max(self_ns, 0)
+
+    header = ["pid", "comm", "events", "spans", "span-self-time"]
+    rows = [
+        [
+            str(pid),
+            "(kernel)" if pid == 0 else names.get(pid, ""),
+            str(agg["events"]),
+            str(agg["spans"]),
+            _format_ns(agg["self_ns"]) if agg["spans"] else "",
+        ]
+        for pid, agg in sorted(per_pid.items())
+    ]
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows)) if rows
+              else len(header[i]) for i in range(len(header))]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip()]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+USAGE = """\
+usage: python -m repro.obs.export --validate FILE [FILE ...]
+       python -m repro.obs.export --chrome-trace OUT.json FILE.jsonl [FILE ...]
+"""
+
+
 def main(argv: List[str]) -> int:
     args = argv[1:]
-    if not args or args[0] != "--validate" or len(args) < 2:
-        print("usage: python -m repro.obs.export --validate FILE [FILE ...]",
-              file=sys.stderr)
-        return 2
-    for target in args[1:]:
-        try:
-            count = validate_jsonl(target)
-        except (OSError, ValueError) as err:
-            print(f"FAIL: {err}", file=sys.stderr)
-            return 1
-        print(f"ok: {target}: {count} record(s)")
-    return 0
+    if args and args[0] == "--validate" and len(args) >= 2:
+        for target in args[1:]:
+            try:
+                count = validate_jsonl(target)
+            except (OSError, ValueError) as err:
+                print(f"FAIL: {err}", file=sys.stderr)
+                return 1
+            print(f"ok: {target}: {count} record(s)")
+        return 0
+    if args and args[0] == "--chrome-trace" and len(args) >= 3:
+        from repro.obs.chrome import write_chrome_trace
+
+        out = args[1]
+        records: List[Dict[str, Any]] = []
+        for target in args[2:]:
+            try:
+                validate_jsonl(target)
+                records.extend(read_jsonl(target))
+            except (OSError, ValueError) as err:
+                print(f"FAIL: {err}", file=sys.stderr)
+                return 1
+        count = write_chrome_trace(out, records)
+        print(f"wrote {out}: {count} trace event(s); "
+              f"open at https://ui.perfetto.dev")
+        return 0
+    print(USAGE, end="", file=sys.stderr)
+    return 2
 
 
 if __name__ == "__main__":

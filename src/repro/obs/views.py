@@ -1,0 +1,191 @@
+"""Per-client views over a shared kernel's observability stream.
+
+When N ICLs share one kernel (the multi-tenant arena of ROADMAP item 1),
+``kernel.obs`` holds one interleaved stream.  Attribution (every record
+stamped with the dispatching pid — see :mod:`repro.obs.events`) makes
+that stream separable again: an :class:`ObsView` is one client's
+read-only window, and :func:`interference_matrix` is the cross-client
+report — who evicted whom, the paper's probe-perturbation tension as a
+literal table.
+
+Pid ``0`` is the *unattributed* bucket: records emitted host-side
+(setup, teardown) before/after any process is current, and eviction
+victims whose owner predates attribution.  Keeping it as a real bucket
+makes the views a partition — the union of every per-pid view equals
+the full stream, record for record — which is the invariant the fuzz
+suite checks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+__all__ = [
+    "UNATTRIBUTED",
+    "ObsView",
+    "split_by_pid",
+    "interference_matrix",
+    "render_matrix",
+    "process_names",
+]
+
+#: The pid bucket for records no simulated process was dispatched for.
+UNATTRIBUTED = 0
+
+
+def split_by_pid(
+    records: Iterable[Dict[str, Any]],
+) -> Dict[int, List[Dict[str, Any]]]:
+    """Partition records into per-pid lists (``0`` = unattributed).
+
+    Every record lands in exactly one bucket, so concatenating the
+    buckets in pid order is a permutation of the input — no record is
+    dropped or duplicated.
+    """
+    buckets: Dict[int, List[Dict[str, Any]]] = {}
+    for record in records:
+        pid = record.get("pid", UNATTRIBUTED)
+        bucket = buckets.get(pid)
+        if bucket is None:
+            buckets[pid] = bucket = []
+        bucket.append(record)
+    return buckets
+
+
+def interference_matrix(
+    records: Iterable[Dict[str, Any]],
+) -> Dict[int, Dict[int, int]]:
+    """Who-evicted-whom counts from ``kernel.reclaim`` events.
+
+    ``matrix[instigator][victim]`` counts reclaim events where
+    ``instigator``'s miss forced an eviction whose majority victim was
+    ``victim``.  Exactly one cell increments per reclaim event, so the
+    sum over all cells equals the stream's reclaim-event count — the
+    row-sum invariant the fuzzer asserts.  Diagonal cells are
+    self-interference (a process thrashing its own pages); off-diagonal
+    cells are the cross-client perturbation the paper is about.
+    """
+    matrix: Dict[int, Dict[int, int]] = {}
+    for record in records:
+        if record.get("type") != "event" or record.get("name") != "kernel.reclaim":
+            continue
+        attrs = record.get("attrs") or {}
+        instigator = int(attrs.get("instigator_pid", UNATTRIBUTED))
+        victim = int(attrs.get("victim_pid", UNATTRIBUTED))
+        row = matrix.get(instigator)
+        if row is None:
+            matrix[instigator] = row = {}
+        row[victim] = row.get(victim, 0) + 1
+    return matrix
+
+
+def process_names(records: Iterable[Dict[str, Any]]) -> Dict[int, str]:
+    """``{pid: comm}`` from the stream's ``kernel.spawn`` events."""
+    names: Dict[int, str] = {}
+    for record in records:
+        if record.get("type") == "event" and record.get("name") == "kernel.spawn":
+            attrs = record.get("attrs") or {}
+            if "pid" in attrs:
+                names[int(attrs["pid"])] = str(attrs.get("comm", ""))
+    return names
+
+
+def render_matrix(
+    matrix: Mapping[int, Mapping[int, int]],
+    names: Optional[Mapping[int, str]] = None,
+) -> str:
+    """The interference matrix as an aligned text table.
+
+    Rows are instigators, columns victims; pid 0 renders as ``(kernel)``.
+    """
+    names = names or {}
+
+    def label(pid: int) -> str:
+        if pid == UNATTRIBUTED:
+            return "(kernel)"
+        comm = names.get(pid)
+        return f"{pid}:{comm}" if comm else str(pid)
+
+    pids = sorted(
+        set(matrix) | {v for row in matrix.values() for v in row}
+    )
+    header = ["evictor \\ victim"] + [label(p) for p in pids] + ["row-sum"]
+    rows: List[List[str]] = []
+    for instigator in sorted(matrix):
+        row = matrix[instigator]
+        rows.append(
+            [label(instigator)]
+            + [str(row.get(victim, 0)) for victim in pids]
+            + [str(sum(row.values()))]
+        )
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) if rows
+        else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = ["  ".join(h.rjust(w) for h, w in zip(header, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+class ObsView:
+    """One client's filtered, read-only window onto a shared stream.
+
+    Construct with the shared :class:`~repro.obs.Observability` and the
+    client's pid (e.g. ``ObsView(kernel.obs, probe_proc.pid)``).  The
+    view never copies eagerly and never mutates the underlying stream;
+    each accessor re-reads it, so a view stays valid across further
+    kernel runs.
+    """
+
+    def __init__(self, obs: Any, pid: int) -> None:
+        self.obs = obs
+        self.pid = pid
+
+    # -- the filtered stream -------------------------------------------
+    def records(self) -> List[Dict[str, Any]]:
+        """Every event/span record attributed to this view's pid."""
+        return [
+            r for r in self.obs.events
+            if r.get("pid", UNATTRIBUTED) == self.pid
+        ]
+
+    def events(self) -> List[Dict[str, Any]]:
+        return [r for r in self.records() if r["type"] == "event"]
+
+    def spans(self) -> List[Dict[str, Any]]:
+        return [r for r in self.records() if r["type"] == "span"]
+
+    def by_name(self, name: str) -> List[Dict[str, Any]]:
+        return [r for r in self.records() if r.get("name") == name]
+
+    # -- per-client accounting -----------------------------------------
+    def syscall_counts(self) -> Dict[str, int]:
+        """This client's per-syscall call counts (the per-pid ledger)."""
+        return dict(self.obs.syscalls_by_pid.get(self.pid, {}))
+
+    # -- cross-client interference -------------------------------------
+    def interference_matrix(self) -> Dict[int, Dict[int, int]]:
+        """The whole machine's who-evicted-whom matrix.
+
+        Deliberately *not* filtered to this pid: interference is a
+        relation between clients, and each tenant of a gray-box system
+        can see the machine-wide contention it is part of.
+        """
+        return interference_matrix(self.obs.events)
+
+    def evictions_caused(self) -> int:
+        """Reclaim events this client's misses forced (its matrix row)."""
+        return sum(self.interference_matrix().get(self.pid, {}).values())
+
+    def evictions_suffered(self) -> int:
+        """Reclaim events whose majority victim was this client."""
+        return sum(
+            row.get(self.pid, 0)
+            for row in self.interference_matrix().values()
+        )
+
+    def __repr__(self) -> str:
+        return f"ObsView(pid={self.pid}, records={len(self.records())})"

@@ -29,9 +29,11 @@ Tests and the experiment harness use :class:`Oracle` for ground truth.
 
 from __future__ import annotations
 
+from time import perf_counter_ns
 from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
 
 from repro.obs import Observability
+from repro.obs.profile import PROFILER
 from repro.sim.cache.base import AnonKey, FileKey
 from repro.sim.clock import Clock
 from repro.sim.config import MachineConfig, PlatformSpec, linux22
@@ -173,6 +175,10 @@ class Kernel:
         self._next_pid += 1
         process.ready_at = self.clock.now
         self.scheduler.add(process)
+        # Host-side metadata only (simulated time untouched): the spawn
+        # event is what lets exporters and the JSONL validator know the
+        # full set of pids a stream may legitimately be attributed to.
+        self.obs.event("kernel.spawn", pid=process.pid, comm=process.name)
         return process
 
     def spawn_with_pipe_ends(
@@ -193,6 +199,7 @@ class Kernel:
         process.gen = gen_factory(*fds)
         process.ready_at = self.clock.now
         self.scheduler.add(process)
+        self.obs.event("kernel.spawn", pid=process.pid, comm=process.name)
         return process
 
     def make_pipe(self) -> PipeBuffer:
@@ -213,20 +220,33 @@ class Kernel:
         next_ready = self.scheduler.next_ready
         advance_to = self.clock.advance_to
         step = self._step
+        profiler = PROFILER
         steps = 0
-        while True:
-            process = next_ready()
-            if process is None:
-                blocked = self.scheduler.blocked()
-                if blocked:
-                    names = ", ".join(p.name for p in blocked)
-                    raise RuntimeError(f"deadlock: blocked processes remain: {names}")
-                return
-            advance_to(process.ready_at)
-            step(process)
-            steps += 1
-            if max_steps is not None and steps >= max_steps:
-                raise RuntimeError(f"exceeded max_steps={max_steps}")
+        try:
+            while True:
+                if profiler.enabled:
+                    _t0 = perf_counter_ns()
+                    process = next_ready()
+                    profiler.add("sched.next_ready", perf_counter_ns() - _t0)
+                else:
+                    process = next_ready()
+                if process is None:
+                    blocked = self.scheduler.blocked()
+                    if blocked:
+                        names = ", ".join(p.name for p in blocked)
+                        raise RuntimeError(
+                            f"deadlock: blocked processes remain: {names}"
+                        )
+                    return
+                advance_to(process.ready_at)
+                step(process)
+                steps += 1
+                if max_steps is not None and steps >= max_steps:
+                    raise RuntimeError(f"exceeded max_steps={max_steps}")
+        finally:
+            # Attribution ends with the dispatch loop: host-side records
+            # emitted after run() must not inherit the last pid.
+            self.obs.set_pid(None)
 
     def run_process(self, gen: Generator, name: str = "") -> Any:
         """Spawn one process, run the machine to idle, return its result."""
@@ -235,10 +255,21 @@ class Kernel:
         return process.result
 
     def _step(self, process: Process) -> None:
+        # Attribute everything this dispatch records — kernel events from
+        # handlers *and* ICL spans opened in the generator body below —
+        # to the process being stepped.  Host-side metadata only.  The
+        # guard skips the two attribute writes on consecutive dispatches
+        # of the same process — the overwhelmingly common schedule.
+        obs = self.obs
+        if obs.current_pid != process.pid:
+            obs.set_pid(process.pid)
         retry = getattr(process, "retry_syscall", None)
         if retry is not None:
             self._execute(process, retry)
             return
+        profiling = PROFILER.enabled
+        if profiling:
+            _t0 = perf_counter_ns()
         try:
             if process.pending_exception is not None:
                 exc = process.pending_exception
@@ -250,8 +281,12 @@ class Kernel:
             else:
                 item = process.gen.send(process.pending_value)
         except StopIteration as stop:
+            if profiling:
+                PROFILER.add("proc.advance", perf_counter_ns() - _t0)
             self._exit_process(process, stop.value)
             return
+        if profiling:
+            PROFILER.add("proc.advance", perf_counter_ns() - _t0)
         if not isinstance(item, Syscall):
             raise TypeError(
                 f"{process.name} yielded {item!r}; processes must yield Syscall objects"
@@ -269,7 +304,12 @@ class Kernel:
         start = self.clock.now
         process.stats.syscalls += 1
         try:
-            outcome = handler(process, *syscall.args)
+            if PROFILER.enabled:
+                _t0 = perf_counter_ns()
+                outcome = handler(process, *syscall.args)
+                PROFILER.add("syscall." + syscall.name, perf_counter_ns() - _t0)
+            else:
+                outcome = handler(process, *syscall.args)
         except SimOSError as err:
             # Deliver the failure into the process after the base overhead.
             self.obs.record_syscall_error(syscall.name)
@@ -290,6 +330,7 @@ class Kernel:
 
     def _exit_process(self, process: Process, result: Any) -> None:
         process.result = result
+        self.obs.event("kernel.exit", pid=process.pid, comm=process.name)
         self.scheduler.finish(process)
         for fd in list(process.fd_table):
             self.fileio.release_fd(process, process.fd_table.pop(fd))

@@ -14,8 +14,10 @@ path on unified-VM platforms.
 
 from __future__ import annotations
 
+from time import perf_counter_ns
 from typing import Any, List, Optional
 
+from repro.obs.profile import PROFILER
 from repro.sim.cache.base import AnonKey
 from repro.sim.clock import Clock
 from repro.sim.config import MachineConfig
@@ -178,12 +180,20 @@ class VMLayer:
         mem_touch_ns = self.config.mem_touch_ns
         pid = process.pid
         inject = self.inject
+        # Host-time drill-down of ``syscall.touch_batch``: full fault
+        # servicing vs the resident fast loop around it.
+        profiling = PROFILER.enabled
         for index in range(start_page, start_page + npages, stride):
             before = t
             page = base_page + index
             if in_bounds and page in touched and resident_touch(AnonKey(pid, page)):
                 t += mem_touch_ns
                 elapsed = mem_touch_ns
+            elif profiling:
+                _h0 = perf_counter_ns()
+                t = self.touch_one(process, region_id, index, t)
+                PROFILER.add("touch_batch.fault", perf_counter_ns() - _h0)
+                elapsed = t - before
             else:
                 t = self.touch_one(process, region_id, index, t)
                 elapsed = t - before

@@ -71,6 +71,11 @@ class MemoryManager:
         self.daemon_stats = PageDaemonStats()
         self._anon_resident: Dict[int, int] = {}
         self._dirty_file_pages = 0
+        # Who inserted each resident file/meta page (anon keys carry
+        # their pid already).  Host-side attribution metadata, kept only
+        # when obs is enabled and a process is current; what lets a
+        # reclaim event name its victims, not just its instigator.
+        self._page_owner: Dict[PageKey, int] = {}
 
         plan = platform.make_pools(config)
         self._file_pool: CachePolicy = plan.file_pool
@@ -164,34 +169,58 @@ class MemoryManager:
         stats.activations += 1
         stats.pages_reclaimed += len(victims)
         anon = file_written = file_dropped = meta = 0
+        owners = self._page_owner
+        victims_by_pid: Dict[int, int] = {}
         for entry in victims:
             key = entry.key
             if isinstance(key, AnonKey):
                 anon += 1
                 self._anon_resident[key.pid] = self._anon_resident.get(key.pid, 1) - 1
                 self.swap.swap_out(key)
-            elif isinstance(key, FileKey):
-                if entry.dirty:
-                    file_written += 1
-                    self._dirty_file_pages -= 1
-                else:
-                    file_dropped += 1
-            elif isinstance(key, MetaKey):
-                if entry.dirty:
-                    self._dirty_file_pages -= 1
-                meta += 1
+                owner: Optional[int] = key.pid
+            else:
+                owner = owners.pop(key, None)
+                if isinstance(key, FileKey):
+                    if entry.dirty:
+                        file_written += 1
+                        self._dirty_file_pages -= 1
+                    else:
+                        file_dropped += 1
+                elif isinstance(key, MetaKey):
+                    if entry.dirty:
+                        self._dirty_file_pages -= 1
+                    meta += 1
+            # Pid 0 stands for "unattributed" — pages inserted host-side
+            # (setup writes, daemon work) before any process ran.
+            victims_by_pid[owner if owner is not None else 0] = (
+                victims_by_pid.get(owner if owner is not None else 0, 0) + 1
+            )
         stats.anon_pages_swapped += anon
         stats.file_pages_written += file_written
         stats.file_pages_dropped += file_dropped
         stats.meta_pages_dropped += meta
-        self.obs.event(
-            "kernel.reclaim",
-            pages=len(victims),
-            anon=anon,
-            file_written=file_written,
-            file_dropped=file_dropped,
-            meta=meta,
-        )
+        if self.obs.enabled:
+            # Whose miss forced the eviction (the currently-dispatched
+            # pid, 0 host-side) and whose pages died.  victim_pid is the
+            # majority owner, smallest pid on ties — deterministic, and
+            # exactly one (instigator, victim) pair per reclaim event so
+            # interference-matrix cell sums equal the reclaim count.
+            instigator = self.obs.current_pid
+            victim = min(
+                victims_by_pid,
+                key=lambda p: (-victims_by_pid[p], p),
+            )
+            self.obs.event(
+                "kernel.reclaim",
+                pages=len(victims),
+                anon=anon,
+                file_written=file_written,
+                file_dropped=file_dropped,
+                meta=meta,
+                instigator_pid=instigator if instigator is not None else 0,
+                victim_pid=victim,
+                victims_by_pid=victims_by_pid,
+            )
         return victims
 
     # ------------------------------------------------------------------
@@ -235,6 +264,10 @@ class MemoryManager:
         if dirty and not self._file_pool.is_dirty(key):
             self._dirty_file_pages += 1
         self._file_pool.touch(key, dirty)
+        if incoming and self.obs.enabled:
+            pid = self.obs.current_pid
+            if pid is not None:
+                self._page_owner[key] = pid
         return victims
 
     def drop_file_page(self, key: PageKey) -> bool:
@@ -243,6 +276,7 @@ class MemoryManager:
         removed = self._file_pool.remove(key)
         if removed:
             self.file_epoch += 1
+            self._page_owner.pop(key, None)
         return removed
 
     def mark_file_clean(self, key: PageKey) -> None:

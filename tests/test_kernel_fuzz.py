@@ -404,3 +404,76 @@ def test_differential_noisy_replay_is_deterministic():
             f"noisy run did not replay: reproduce with seed={seed} "
             f"level={level}"
         )
+
+
+# ---------------------------------------------------------------------------
+# Attribution invariants: random storms must stay correctly attributed
+# ---------------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(
+    seeds=st.lists(st.integers(min_value=0, max_value=10_000), min_size=2, max_size=4),
+    steps=st.integers(min_value=10, max_value=50),
+)
+def test_chaos_attribution_invariants(seeds, steps):
+    """Whatever the interleave, the attribution bookkeeping must close.
+
+    Three ledgers are checked against each other:
+
+    * every pid stamped on an event or span (and every instigator /
+      victim of a reclaim) is a pid the kernel actually spawned, or the
+      0 = unattributed bucket;
+    * the per-pid syscall ledger sums to the kernel's aggregate
+      per-syscall counters, name by name;
+    * the interference matrix has exactly one (instigator, victim) cell
+      increment per ``kernel.reclaim`` event, so its cell sum equals the
+      reclaim event count.
+    """
+    from repro.obs.views import interference_matrix, split_by_pid
+
+    kernel = Kernel(small_config())
+    processes = [
+        kernel.spawn(chaos_process(seed, steps), f"chaos{i}")
+        for i, seed in enumerate(seeds)
+    ]
+    kernel.run()
+    assert all(p.result == "survived" for p in processes)
+
+    spawned = {p.pid for p in processes}
+    records = list(kernel.obs.events)
+
+    # 1. Every attributed record names a real process (0 = host-side).
+    for record in records:
+        pid = record.get("pid")
+        assert pid is None or pid in spawned, record
+    for record in records:
+        if record.get("type") == "event" and record.get("name") == "kernel.reclaim":
+            attrs = record["attrs"]
+            assert attrs["instigator_pid"] in spawned | {0}, record
+            assert attrs["victim_pid"] in spawned | {0}, record
+            assert sum(attrs["victims_by_pid"].values()) == attrs["pages"], record
+
+    # 2. The per-pid syscall ledger sums to the aggregate counters.
+    assert set(kernel.obs.syscalls_by_pid) <= spawned
+    totals = {}
+    for by_pid in kernel.obs.syscalls_by_pid.values():
+        for name, count in by_pid.items():
+            totals[name] = totals.get(name, 0) + count
+    for name, count in totals.items():
+        counter = kernel.obs.metrics.counter(f"kernel.syscall.{name}.calls")
+        assert counter.value == count, (
+            f"per-pid ledger for {name!r} sums to {count}, "
+            f"aggregate counter says {counter.value}"
+        )
+
+    # 3. One matrix cell increment per reclaim event.
+    matrix = interference_matrix(records)
+    reclaims = sum(
+        1 for r in records
+        if r.get("type") == "event" and r.get("name") == "kernel.reclaim"
+    )
+    assert sum(sum(row.values()) for row in matrix.values()) == reclaims
+
+    # 4. The per-pid views partition the stream: nothing lost, nothing
+    #    double-counted.
+    buckets = split_by_pid(records)
+    assert sum(len(b) for b in buckets.values()) == len(records)
