@@ -89,7 +89,19 @@ SPEEDUP_FLOORS = {
     "pread_probe_throughput": 3.0,
     "touch_probe_throughput": 3.0,
     "stat_probe_throughput": 3.0,
+    # fig2 is end-to-end FCCD, and the sequential side shares the
+    # vectorized kernel paths — so its ratio compresses as the kernel
+    # gets faster.  The absolute floor asserts the invariant that
+    # matters: batching must never make the scan *slower*.
+    "fig2_scan": 1.0,
 }
+
+# Ceiling on any single ``syscall.*`` section's share of profiled host
+# time.  A section crossing it means one syscall path has re-grown into
+# the dominant cost (the pre-vectorization profile had syscall.pread at
+# 27% and nothing else close); the gate applies whenever a --profile
+# pass is attached.
+PROFILE_SHARE_CEILING = 0.35
 
 
 def _config() -> MachineConfig:
@@ -452,17 +464,19 @@ def check_regression(current: Dict, baseline: Dict) -> List[str]:
     """Speedup-ratio gate; returns a list of failure messages."""
     failures = []
     same_mode = current.get("smoke") == baseline.get("smoke")
-    for key in GATED_KEYS:
+    # Absolute floors apply to every keyed speedup, gated or not (fig2
+    # carries a floor without joining the ratio ratchet).
+    for key, floor_abs in SPEEDUP_FLOORS.items():
         cur = current.get("results", {}).get(key)
-        if not cur:
-            continue
-        floor_abs = SPEEDUP_FLOORS.get(key)
-        if floor_abs is not None and cur["speedup"] < floor_abs:
+        if cur and cur["speedup"] < floor_abs:
             failures.append(
                 f"{key}: speedup {cur['speedup']:.2f}x fell below the "
                 f"absolute floor {floor_abs:.2f}x"
             )
-            continue
+    for key in GATED_KEYS:
+        cur = current.get("results", {}).get(key)
+        if not cur or cur["speedup"] < SPEEDUP_FLOORS.get(key, 0.0):
+            continue  # missing, or already failed the absolute floor
         base = baseline.get("results", {}).get(key)
         if not base or not same_mode:
             continue
@@ -497,6 +511,70 @@ def check_regression(current: Dict, baseline: Dict) -> List[str]:
     return failures
 
 
+def check_profile_shares(profile: Dict) -> List[str]:
+    """No single ``syscall.*`` section may dominate the profiled pass."""
+    failures = []
+    for row in profile.get("top_sections", []):
+        section = row.get("section", "")
+        # Dotted subsections (``touch_batch.fault`` …) nest *inside*
+        # their syscall's section time; gating them too would double
+        # count.  Only top-level syscall sections are shares of the
+        # dispatch loop.
+        if section.startswith("syscall.") and row.get("share", 0.0) > PROFILE_SHARE_CEILING:
+            failures.append(
+                f"profile: {section} holds {row['share']:.1%} of profiled "
+                f"host time (ceiling {PROFILE_SHARE_CEILING:.0%})"
+            )
+    return failures
+
+
+def delta_table(current: Dict, baseline: Dict) -> str:
+    """Per-metric old→new table for the --check report.
+
+    Covers every scalar the gates look at: the four speedups, the
+    solo-loop step rate, and the per-platform step rates.  Percentages
+    are informational — cross-mode runs (smoke vs full baseline) still
+    print, they just aren't comparable one-for-one.
+    """
+    rows: List[tuple] = []
+
+    def pick(tree: Dict, key: str, field: str):
+        entry = tree.get("results", {}).get(key)
+        return entry.get(field) if isinstance(entry, dict) else None
+
+    for key in (*GATED_KEYS, "fig2_scan"):
+        rows.append((f"{key}.speedup", pick(baseline, key, "speedup"),
+                     pick(current, key, "speedup"), "x"))
+    rows.append(("kernel_step_rate.steps_per_s",
+                 pick(baseline, "kernel_step_rate", "steps_per_s"),
+                 pick(current, "kernel_step_rate", "steps_per_s"), "/s"))
+    base_steps = baseline.get("results", {}).get("kernel_step_rate_by_platform") or {}
+    cur_steps = current.get("results", {}).get("kernel_step_rate_by_platform") or {}
+    for name in sorted(set(base_steps) | set(cur_steps)):
+        rows.append((f"step_rate[{name}]",
+                     (base_steps.get(name) or {}).get("steps_per_s"),
+                     (cur_steps.get(name) or {}).get("steps_per_s"), "/s"))
+
+    def fmt(value, unit: str) -> str:
+        if value is None:
+            return "-"
+        return f"{value:,.2f}x" if unit == "x" else f"{value:,.0f}{unit}"
+
+    lines = [
+        f"{'metric':<34} {'baseline':>12} {'current':>12} {'change':>8}",
+        f"{'-' * 34} {'-' * 12} {'-' * 12} {'-' * 8}",
+    ]
+    for label, old, new, unit in rows:
+        if old and new:
+            change = f"{(new / old - 1.0):+.1%}"
+        else:
+            change = "-"
+        lines.append(
+            f"{label:<34} {fmt(old, unit):>12} {fmt(new, unit):>12} {change:>8}"
+        )
+    return "\n".join(lines)
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="small, fast sizes")
@@ -526,6 +604,10 @@ def main(argv: List[str] = None) -> int:
     if args.check is not None:
         baseline = json.loads(args.check.read_text())
         failures = check_regression(current, baseline)
+        if "profile" in current:
+            failures.extend(check_profile_shares(current["profile"]))
+        print("\nbaseline -> current deltas:")
+        print(delta_table(current, baseline))
         # The gate run must not clobber the committed baseline.  Compare
         # resolved paths: the default output is absolute while --check is
         # usually given relative, and a naive != would treat them as
@@ -568,6 +650,21 @@ def test_fig2_scan_simulated_time_identical():
     """Batching is wall-clock only: the simulated scan time must not move."""
     entry = bench_fig2_scan(size_mb=16, prediction_unit=64 * KIB)
     assert entry["simulated_ns_equal"], entry
+
+
+def test_no_syscall_section_dominates_committed_profile():
+    """The committed baseline's profile must stay flat.
+
+    After the vectorized paths landed, no single ``syscall.*`` section
+    should hold more than :data:`PROFILE_SHARE_CEILING` of profiled host
+    time — a section crossing it means one syscall path has re-grown
+    into the dominant cost and the artifact needs regenerating (or the
+    path needs fixing).
+    """
+    baseline = json.loads(DEFAULT_OUTPUT.read_text())
+    profile = baseline.get("profile")
+    assert profile, "BENCH_core.json lacks a profile pass; regenerate with --profile"
+    assert check_profile_shares(profile) == []
 
 
 if __name__ == "__main__":

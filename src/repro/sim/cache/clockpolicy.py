@@ -73,6 +73,33 @@ class ClockPolicy(CachePolicy):
         self.stats.hits += len(frames)
         return True
 
+    def resident_cell(self, key: PageKey) -> _Frame:
+        """A page's cell is its frame: identity-stable while resident."""
+        return self._ring_of(key)[key]
+
+    def reference_cells(self, cells, dirty: bool = False) -> None:
+        """Batched clock hit: a reference-bit store per frame, no hashing."""
+        if dirty:
+            for frame in cells:
+                frame.referenced = True
+                frame.dirty = True
+        else:
+            for frame in cells:
+                frame.referenced = True
+        self.stats.hits += len(cells)
+
+    def insert_absent_many(self, keys, dirty: bool):
+        """Batched insert at the back of the ring; returns the new frames."""
+        cells = []
+        append = cells.append
+        ring_of = self._ring_of
+        for key in keys:
+            frame = _Frame(dirty)
+            ring_of(key)[key] = frame
+            append(frame)
+        self.stats.misses += len(keys)
+        return cells
+
     def replay_token(self, keys):
         """The frame objects themselves: frames are identity-stable while
         resident (a second-chance rotation re-inserts the same frame),

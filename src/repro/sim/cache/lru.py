@@ -54,6 +54,32 @@ class LRUPolicy(CachePolicy):
             move(key)
         self.stats.hits += len(token)
 
+    def reference_cells(self, cells, dirty: bool = False) -> None:
+        """Batched LRU hit: cells are keys; one reorder pass per batch.
+
+        ``_reference`` pops and re-appends with the or'd dirty bit; for
+        a known-present key that is exactly ``move_to_end`` (plus a
+        value store when dirtying), so the fused loop skips the pop.
+        """
+        pages = self._pages
+        move = pages.move_to_end
+        if dirty:
+            for key in cells:
+                pages[key] = True
+                move(key)
+        else:
+            for key in cells:
+                move(key)
+        self.stats.hits += len(cells)
+
+    def insert_absent_many(self, keys, dirty: bool):
+        """Batched insert at the MRU end, in key order."""
+        pages = self._pages
+        for key in keys:
+            pages[key] = dirty
+        self.stats.misses += len(keys)
+        return list(keys)
+
     def contains(self, key: PageKey) -> bool:
         return key in self._pages
 

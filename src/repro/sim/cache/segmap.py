@@ -83,6 +83,23 @@ class SegmapPolicy(CachePolicy):
         self.stats.hits += len(keys)
         return True
 
+    def reference_cells(self, cells, dirty: bool = False) -> None:
+        """Batched segmap hit: cells are keys; a clean hit moves nothing."""
+        if dirty:
+            owners = self._owners
+            for key in cells:
+                owners[_owner_of(key)][key] = True
+        self.stats.hits += len(cells)
+
+    def insert_absent_many(self, keys, dirty: bool):
+        """Batched insert in key order (owner rows created on demand)."""
+        pages_of = self._pages_of
+        for key in keys:
+            pages_of(key)[key] = dirty
+        self._count += len(keys)
+        self.stats.misses += len(keys)
+        return list(keys)
+
     def replay_token(self, keys):
         """A clean segmap hit mutates nothing, so the hit count is the
         entire replay state."""

@@ -30,32 +30,34 @@ class Clock:
     The kernel owns one clock.  Components that model busy resources
     (disks, CPUs) keep their own ``busy_until`` horizons and reconcile
     against this clock.
+
+    ``now`` is a plain attribute, not a property: every syscall handler
+    reads it at least once (often several times), and the descriptor
+    call showed up in the dispatch-loop profile.  It must only be
+    written through :meth:`advance` / :meth:`advance_to`, which keep it
+    monotone.
     """
 
-    __slots__ = ("_now",)
+    __slots__ = ("now",)
 
     def __init__(self, start: int = 0) -> None:
         if start < 0:
             raise ValueError("clock cannot start before time zero")
-        self._now = start
-
-    @property
-    def now(self) -> int:
-        """Current simulated time in nanoseconds."""
-        return self._now
+        #: Current simulated time in nanoseconds (read-only by convention).
+        self.now = start
 
     def advance(self, delta: int) -> int:
         """Move the clock forward by ``delta`` nanoseconds and return now."""
         if delta < 0:
             raise ValueError(f"cannot advance clock by negative delta {delta}")
-        self._now += delta
-        return self._now
+        self.now += delta
+        return self.now
 
     def advance_to(self, timestamp: int) -> int:
         """Move the clock forward to ``timestamp`` if it is in the future."""
-        if timestamp > self._now:
-            self._now = timestamp
-        return self._now
+        if timestamp > self.now:
+            self.now = timestamp
+        return self.now
 
     def __repr__(self) -> str:
-        return f"Clock(now={self._now}ns)"
+        return f"Clock(now={self.now}ns)"

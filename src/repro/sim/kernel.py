@@ -75,6 +75,7 @@ class Kernel:
         fs_class: type = FFS,
         obs: Optional[Observability] = None,
         name_cache: bool = True,
+        numpy_paths: bool = True,
     ) -> None:
         self.config = config or MachineConfig()
         self.platform = platform
@@ -150,6 +151,15 @@ class Kernel:
         )
         self.vm = VMLayer(cfg, self.clock, self.mm, self.swap_disk, self.page_cache)
         self.vfs.bind_open_counts(self.fileio.is_open)
+        # ``numpy_paths=False`` builds the scalar compatibility kernel:
+        # every vectorized fast path stands down and the per-page loops
+        # run instead.  The differential fuzzer runs twin kernels in both
+        # modes and requires bit-identical traces, obs records, and
+        # schedules (simulated behaviour must not depend on the mode).
+        self.numpy_paths = numpy_paths
+        self.vm.numpy_paths = numpy_paths
+        self.fileio.numpy_paths = numpy_paths
+        self.page_cache.numpy_paths = numpy_paths
 
         self.syscalls = SyscallTable()
         self.vfs.register_syscalls(self.syscalls)
@@ -263,7 +273,7 @@ class Kernel:
         obs = self.obs
         if obs.current_pid != process.pid:
             obs.set_pid(process.pid)
-        retry = getattr(process, "retry_syscall", None)
+        retry = process.retry_syscall  # always present: Process is slotted
         if retry is not None:
             self._execute(process, retry)
             return

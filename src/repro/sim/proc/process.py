@@ -71,7 +71,30 @@ class ProcessStats:
 
 
 class Process:
-    """A generator coroutine plus its kernel-side state."""
+    """A generator coroutine plus its kernel-side state.
+
+    ``__slots__`` keeps the PCB compact and makes the dispatch loop's
+    attribute loads (``retry_syscall``, ``pending_value``, ``stats``)
+    fixed-offset reads instead of dict probes.
+    """
+
+    __slots__ = (
+        "pid",
+        "name",
+        "gen",
+        "state",
+        "ready_at",
+        "pending_value",
+        "pending_exception",
+        "retry_syscall",
+        "started",
+        "result",
+        "address_space",
+        "fd_table",
+        "_next_fd",
+        "waiters",
+        "stats",
+    )
 
     def __init__(self, pid: int, gen: Generator, name: str = "") -> None:
         self.pid = pid

@@ -39,6 +39,16 @@ from repro.sim.proc.process import Process, ProcessState
 # cost more than the handful of stale pops it saves.
 COMPACT_MIN_ENTRIES = 16
 
+# PCB-table state codes (see Scheduler: parallel arrays indexed by pid).
+# Plain ints: the dispatch loop's validity test compares these with
+# ``==`` on list loads instead of chasing ``process.state`` enum
+# attributes.  ``Process.state`` keeps the ProcessState enum as the
+# public view; the scheduler mirrors it here at every transition.
+_FREE = -1
+_READY = 0
+_BLOCKED = 1
+_DONE = 2
+
 
 @dataclass
 class SchedulerStats(SnapshotStats):
@@ -69,6 +79,14 @@ class Scheduler:
         self._seq = 0
         self.processes: Dict[int, Process] = {}  # live (READY/BLOCKED) only
         self.finished: Dict[int, Process] = {}  # DONE, kept for waitpid
+        # PCB table: parallel arrays indexed by pid slot (pids are
+        # assigned densely from 1, so a list is a perfect-hash pid map).
+        # Dispatch validity is three list loads — state code, wake time,
+        # Process ref — instead of a dict probe plus two attribute
+        # chases through the Process object.
+        self._state_tab: List[int] = [_FREE]  # slot 0 unused
+        self._ready_tab: List[int] = [0]
+        self._proc_tab: List[Optional[Process]] = [None]
         self.stats = SchedulerStats()
         self._last_pid: Optional[int] = None
         self._runnable = 0
@@ -79,7 +97,14 @@ class Scheduler:
         self.wake_delay_hook: Optional[Callable[[int, int], int]] = None
 
     def add(self, process: Process) -> None:
-        self.processes[process.pid] = process
+        pid = process.pid
+        self.processes[pid] = process
+        tab = self._proc_tab
+        while len(tab) <= pid:  # grow all three arrays in lockstep
+            tab.append(None)
+            self._state_tab.append(_FREE)
+            self._ready_tab.append(0)
+        tab[pid] = process
         self._runnable += 1  # processes are born READY
         self.make_ready(process, process.ready_at)
 
@@ -91,6 +116,9 @@ class Scheduler:
             self._runnable += 1
         process.state = ProcessState.READY
         process.ready_at = at
+        pid = process.pid
+        self._state_tab[pid] = _READY
+        self._ready_tab[pid] = at
         self._seq += 1
         entry = (at, self._seq, process.pid)
         if self._fast is None and not self._heap:
@@ -107,6 +135,7 @@ class Scheduler:
             self._runnable -= 1
             self._blocked += 1
         process.state = ProcessState.BLOCKED
+        self._state_tab[process.pid] = _BLOCKED
         self._maybe_compact()
 
     def finish(self, process: Process) -> None:
@@ -120,8 +149,11 @@ class Scheduler:
         elif process.state is ProcessState.BLOCKED:
             self._blocked -= 1
         process.state = ProcessState.DONE
-        self.processes.pop(process.pid, None)
-        self.finished[process.pid] = process
+        pid = process.pid
+        self._state_tab[pid] = _DONE
+        self._proc_tab[pid] = None  # finished dict keeps the waitpid ref
+        self.processes.pop(pid, None)
+        self.finished[pid] = process
 
     def lookup(self, pid: int) -> Optional[Process]:
         """Find a process, live or finished (the waitpid view)."""
@@ -131,7 +163,15 @@ class Scheduler:
         return self.finished.get(pid)
 
     def next_ready(self) -> Optional[Process]:
-        """Pop the earliest READY process, discarding stale entries."""
+        """Pop the earliest READY process, discarding stale entries.
+
+        Entry validity reads the PCB arrays, not the Process objects:
+        heap entries only exist for pids that passed through
+        :meth:`add`, so the pid is always within the table.
+        """
+        state_tab = self._state_tab
+        ready_tab = self._ready_tab
+        stats = self.stats
         while True:
             if self._fast is not None:
                 entry_at, _seq, pid = self._fast
@@ -142,32 +182,26 @@ class Scheduler:
                 fast = False
             else:
                 return None
-            process = self.processes.get(pid)
-            if (
-                process is not None
-                and process.state is ProcessState.READY
-                and process.ready_at == entry_at
-            ):
-                self.stats.dispatches += 1
+            if state_tab[pid] == _READY and ready_tab[pid] == entry_at:
+                stats.dispatches += 1
                 if fast:
-                    self.stats.fast_dispatches += 1
-                if process.pid != self._last_pid:
-                    self.stats.context_switches += 1
-                    self._last_pid = process.pid
-                return process
+                    stats.fast_dispatches += 1
+                if pid != self._last_pid:
+                    stats.context_switches += 1
+                    self._last_pid = pid
+                return self._proc_tab[pid]
 
     def _maybe_compact(self) -> None:
         """Rebuild the heap when stale entries dominate live ones."""
         heap = self._heap
         if len(heap) < COMPACT_MIN_ENTRIES or len(heap) <= 2 * self._runnable:
             return
-        processes = self.processes
+        state_tab = self._state_tab
+        ready_tab = self._ready_tab
         live = [
             entry
             for entry in heap
-            if (p := processes.get(entry[2])) is not None
-            and p.state is ProcessState.READY
-            and p.ready_at == entry[0]
+            if state_tab[entry[2]] == _READY and ready_tab[entry[2]] == entry[0]
         ]
         heapq.heapify(live)
         self._heap = live

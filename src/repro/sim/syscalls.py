@@ -24,9 +24,14 @@ from dataclasses import dataclass
 from typing import Any, NamedTuple, Optional, Sequence, Tuple, Union
 
 
-@dataclass(frozen=True)
-class Syscall:
-    """One kernel request: a name plus positional arguments."""
+class Syscall(NamedTuple):
+    """One kernel request: a name plus positional arguments.
+
+    A NamedTuple rather than a dataclass: one of these is constructed
+    per issued syscall, so it sits on the simulator's hottest
+    allocation path (a NamedTuple builds in one C call where the frozen
+    dataclass paid two ``object.__setattr__`` rounds).
+    """
 
     name: str
     args: Tuple[Any, ...] = ()
@@ -36,9 +41,12 @@ class Syscall:
         return f"sys.{self.name}({inner})"
 
 
-@dataclass(frozen=True)
-class SyscallResult:
-    """What a yield returns: the value plus the simulated elapsed time."""
+class SyscallResult(NamedTuple):
+    """What a yield returns: the value plus the simulated elapsed time.
+
+    Also a NamedTuple for construction speed — the kernel builds one
+    per executed syscall.
+    """
 
     value: Any
     elapsed_ns: int
@@ -214,9 +222,17 @@ def touch_batch(
 # ---------------------------------------------------------------------------
 # Time and CPU
 # ---------------------------------------------------------------------------
+# Zero-argument requests are immutable and the kernel only ever reads
+# them, so each constructor returns one shared instance: the tightest
+# probe loops (gettime between every probe) skip the allocation.
+_GETTIME = Syscall("gettime", ())
+_GETPID = Syscall("getpid", ())
+_PIPE = Syscall("pipe", ())
+
+
 def gettime() -> Syscall:
     """High-resolution timestamp (the toolbox's rdtsc equivalent)."""
-    return Syscall("gettime", ())
+    return _GETTIME
 
 
 def compute(ns: int) -> Syscall:
@@ -243,12 +259,12 @@ def waitpid(pid: int) -> Syscall:
 
 
 def getpid() -> Syscall:
-    return Syscall("getpid", ())
+    return _GETPID
 
 
 def pipe() -> Syscall:
     """Create a pipe; returns (read_fd, write_fd)."""
-    return Syscall("pipe", ())
+    return _PIPE
 
 
 @dataclass(frozen=True)
@@ -268,14 +284,14 @@ class ReadResult:
         return self.nbytes == 0
 
 
-@dataclass(frozen=True)
-class ProbeRead:
+class ProbeRead(NamedTuple):
     """One probe's result inside a :func:`pread_batch` value.
 
     ``elapsed_ns`` is the simulated time this probe alone took — what
     the equivalent standalone ``pread``'s ``SyscallResult.elapsed_ns``
     would have read.  The enclosing SyscallResult's ``elapsed_ns`` is
-    the sum over the batch.
+    the sum over the batch.  A NamedTuple like :class:`ProbeStat`: the
+    batch fast path builds one per probe, so construction cost matters.
     """
 
     nbytes: int

@@ -52,6 +52,11 @@ class VMLayer:
         #: the batch's early-stop predicate sees the noisy time, exactly
         #: like the user-space sequential loop would).
         self.inject: Optional[Any] = None
+        #: Gate for the vectorized run paths (numpy membership tests +
+        #: batched policy updates).  ``Kernel(numpy_paths=False)`` turns
+        #: them off so the differential fuzzer can pin the vector paths
+        #: against the scalar per-page loop bit for bit.
+        self.numpy_paths: bool = True
 
     def register_syscalls(self, table: SyscallTable) -> None:
         table.register("vm_alloc", self.sys_vm_alloc)
@@ -119,19 +124,20 @@ class VMLayer:
         return None, duration
 
     def sys_touch_range(self, process: Process, region_id: int, start_page: int, npages: int):
+        """Touch pages in order; shares :meth:`_touch_run` with touch_batch.
+
+        Routing through the batch interior (rather than a bare
+        ``touch_one`` loop) gives touch_range the same resident fast
+        check and, when the injector is inert, the same vectorized run
+        paths — it previously re-walked the full per-page fault path at
+        tens of host-milliseconds per warm-up call.
+        """
         if npages <= 0:
             raise InvalidArgument("touch_range needs a positive page count")
-        t0 = self.clock.now
-        t = t0
-        per_page: List[int] = []
-        inject = self.inject
-        for index in range(start_page, start_page + npages):
-            before = t
-            t = self.touch_one(process, region_id, index, t)
-            if inject is not None:
-                t = before + inject.probe_elapsed("touch", t - before)
-            per_page.append(t - before)
-        return per_page, t - t0
+        times, _stopped, total = self._touch_run(
+            process, region_id, start_page, npages, 1, None, 1, 1, "touch_range"
+        )
+        return times, total
 
     def sys_touch_batch(
         self,
@@ -159,30 +165,101 @@ class VMLayer:
             raise InvalidArgument("touch_batch needs a positive stride")
         if slow_count < 1 or slow_window < 1:
             raise InvalidArgument("need slow_count >= 1 and slow_window >= 1")
+        times, stopped, total = self._touch_run(
+            process, region_id, start_page, npages, stride,
+            threshold_ns, slow_count, slow_window, "touch_batch",
+        )
+        return TouchBatchResult(tuple(times), stopped), total
+
+    def _touch_run(
+        self,
+        process: Process,
+        region_id: int,
+        start_page: int,
+        npages: int,
+        stride: int,
+        threshold_ns: Optional[int],
+        slow_count: int,
+        slow_window: int,
+        section: str,
+    ):
+        """Shared touch interior; returns ``(per_page_times, stopped, total)``.
+
+        Three tiers, each bit-identical in simulated time and pool state
+        to the scalar loop below it:
+
+        1. **Vectorized resident run** — every page of the strided run
+           is resident (one numpy membership test): charge
+           ``mem_touch_ns`` per page and apply one batched policy
+           update.  Valid only when no touch can exceed the early-stop
+           threshold, so the predicate provably never trips.
+        2. **Vectorized zero-fill run** — a contiguous, never-touched
+           run the pool can absorb without reclaiming: one batched
+           insert, ``fault_overhead + page_zero`` per page.
+        3. **Scalar loop** — everything else (mixed runs, swap-ins,
+           reclaim pressure, an active injector, predicate-visible slow
+           touches): the resident fast check per page, ``touch_one``
+           for real faults, noise and early-stop applied per touch.
+        """
         t0 = self.clock.now
-        t = t0
-        times: List[int] = []
-        append = times.append
-        slow_marks: List[int] = []
-        stopped = False
-        # Fast path for the resident case (MAC's verify loops re-touch
-        # pages that are overwhelmingly still resident): skip the
-        # per-page region lookup/bounds check — validated once for the
-        # whole strided range here — and the FaultResult allocation.
-        # Any fault that needs real work falls back to ``touch_one``.
         space = process.address_space
         region = space.region(region_id)
         last_index = start_page + ((npages - 1) // stride) * stride
         in_bounds = 0 <= start_page and last_index < region.npages
         base_page = region.base_page
-        touched = space.touched
-        resident_touch = self.mm.anon_fault_resident
-        mem_touch_ns = self.config.mem_touch_ns
+        cfg = self.config
+        mem_touch_ns = cfg.mem_touch_ns
         pid = process.pid
         inject = self.inject
-        # Host-time drill-down of ``syscall.touch_batch``: full fault
-        # servicing vs the resident fast loop around it.
+
+        if inject is None and in_bounds and self.numpy_paths:
+            # Tier 1: the whole strided run is resident.  Guard the
+            # early-stop predicate: a resident touch costs exactly
+            # mem_touch_ns, so with mem_touch_ns <= threshold no
+            # observation can be slow and the predicate cannot trip.
+            if threshold_ns is None or mem_touch_ns <= threshold_ns:
+                count = self.mm.touch_anon_resident_run(
+                    pid, base_page + start_page, base_page + last_index + 1, stride
+                )
+                if count:
+                    return [mem_touch_ns] * count, False, count * mem_touch_ns
+            # Tier 2: a fresh contiguous run (no page ever touched, so
+            # zero-fill faults with no swap slots) the pool can take
+            # without evicting at any intermediate step.
+            zero_ns = cfg.fault_overhead_ns + cfg.page_zero_ns
+            if (
+                stride == 1
+                and (threshold_ns is None or zero_ns <= threshold_ns)
+                and space.touched.isdisjoint(
+                    range(base_page + start_page, base_page + start_page + npages)
+                )
+                and self.mm.anon_zero_fill_run(
+                    pid, base_page + start_page, base_page + start_page + npages
+                )
+            ):
+                space.touched.update(
+                    range(base_page + start_page, base_page + start_page + npages)
+                )
+                return [zero_ns] * npages, False, npages * zero_ns
+
+        # Tier 3: the scalar loop.  Fast path for the resident case
+        # (MAC's verify loops re-touch pages that are overwhelmingly
+        # still resident): skip the per-page region lookup/bounds check
+        # — validated once for the whole strided range above — and the
+        # FaultResult allocation.  Any fault that needs real work falls
+        # back to ``touch_one``.
+        t = t0
+        times: List[int] = []
+        append = times.append
+        slow_marks: List[int] = []
+        stopped = False
+        touched = space.touched
+        resident_touch = self.mm.anon_fault_resident
+        # Host-time drill-down of ``syscall.touch_batch`` /
+        # ``syscall.touch_range``: full fault servicing vs the resident
+        # fast loop around it.
         profiling = PROFILER.enabled
+        fault_section = section + ".fault"
         for index in range(start_page, start_page + npages, stride):
             before = t
             page = base_page + index
@@ -192,7 +269,7 @@ class VMLayer:
             elif profiling:
                 _h0 = perf_counter_ns()
                 t = self.touch_one(process, region_id, index, t)
-                PROFILER.add("touch_batch.fault", perf_counter_ns() - _h0)
+                PROFILER.add(fault_section, perf_counter_ns() - _h0)
                 elapsed = t - before
             else:
                 t = self.touch_one(process, region_id, index, t)
@@ -209,7 +286,7 @@ class VMLayer:
                 if recent >= slow_count:
                     stopped = True
                     break
-        return TouchBatchResult(tuple(times), stopped), t - t0
+        return times, stopped, t - t0
 
 
 __all__ = ["VMLayer"]

@@ -34,6 +34,7 @@ from repro.sim.cache.base import (
 from repro.sim.config import MachineConfig, PlatformSpec
 from repro.sim.errors import OutOfMemory
 from repro.sim.vm.pagedaemon import PageDaemonStats
+from repro.sim.vm.residency import ResidencyIndex
 from repro.sim.vm.swap import SwapSpace
 
 
@@ -83,6 +84,16 @@ class MemoryManager:
         self._anon_pool: CachePolicy = plan.anon_pool
         self._anon_capacity = plan.anon_capacity_pages
         self._unified = plan.unified
+
+        # Array-backed residency mirrors (see repro.sim.vm.residency):
+        # per-(fs_id, ino) file-page presence and per-pid anon-page
+        # presence, each paired with the pool's per-page replay cells.
+        # Every insert/remove below keeps them exact, so the vectorized
+        # fault and read paths can test whole-run membership with one
+        # numpy op.  MetaKeys are not mirrored — no batch path needs
+        # them, and their block numbers are too sparse for dense arrays.
+        self._file_index = ResidencyIndex()
+        self._anon_index = ResidencyIndex()
 
         # File-eviction epoch: bumped whenever any page might leave the
         # file pool (reclaim victims, explicit drops).  While the epoch
@@ -162,6 +173,16 @@ class MemoryManager:
             # Pool cannot shrink enough: the machine is truly out of memory.
             for entry in victims:
                 pool.touch(entry.key, entry.dirty)  # undo
+                # Re-inserting allocates fresh cells; the residency
+                # mirrors still carry the pre-eviction ones, so point
+                # them at the new cells before anything replays them.
+                key = entry.key
+                if isinstance(key, AnonKey):
+                    self._anon_index.set(key.pid, key.index, pool.resident_cell(key))
+                elif isinstance(key, FileKey):
+                    self._file_index.set(
+                        (key.fs_id, key.ino), key.index, pool.resident_cell(key)
+                    )
             raise OutOfMemory(
                 f"cannot reclaim {shortfall} pages (pool has {len(pool)})"
             )
@@ -177,10 +198,12 @@ class MemoryManager:
                 anon += 1
                 self._anon_resident[key.pid] = self._anon_resident.get(key.pid, 1) - 1
                 self.swap.swap_out(key)
+                self._anon_index.clear(key.pid, key.index)
                 owner: Optional[int] = key.pid
             else:
                 owner = owners.pop(key, None)
                 if isinstance(key, FileKey):
+                    self._file_index.clear((key.fs_id, key.ino), key.index)
                     if entry.dirty:
                         file_written += 1
                         self._dirty_file_pages -= 1
@@ -241,6 +264,23 @@ class MemoryManager:
         """
         return self._file_pool.touch_cached(key)
 
+    def touch_file_pages_resident(self, fs_id: int, ino: int, pages) -> bool:
+        """Clean bulk touch of one file's pages; True iff all resident.
+
+        ``pages`` is an integer numpy array of page indexes in probe
+        order (duplicates allowed).  On True, pool state and hit counts
+        are exactly what ``len(pages)`` successful
+        :meth:`touch_file_cached` calls in that order would have left;
+        on False nothing is mutated and the caller takes the scalar
+        path.  One vectorized membership test replaces the per-probe
+        key construction and dict probe.
+        """
+        cells = self._file_index.cells_at_if_all_present((fs_id, ino), pages)
+        if cells is None:
+            return False
+        self._file_pool.reference_cells(cells, False)
+        return True
+
     def touch_files_cached(self, keys: Sequence[PageKey]) -> bool:
         """All-or-nothing clean touch of a resident key sequence.
 
@@ -264,10 +304,16 @@ class MemoryManager:
         if dirty and not self._file_pool.is_dirty(key):
             self._dirty_file_pages += 1
         self._file_pool.touch(key, dirty)
-        if incoming and self.obs.enabled:
-            pid = self.obs.current_pid
-            if pid is not None:
-                self._page_owner[key] = pid
+        if incoming:
+            if isinstance(key, FileKey):
+                self._file_index.set(
+                    (key.fs_id, key.ino), key.index,
+                    self._file_pool.resident_cell(key),
+                )
+            if self.obs.enabled:
+                pid = self.obs.current_pid
+                if pid is not None:
+                    self._page_owner[key] = pid
         return victims
 
     def drop_file_page(self, key: PageKey) -> bool:
@@ -277,6 +323,8 @@ class MemoryManager:
         if removed:
             self.file_epoch += 1
             self._page_owner.pop(key, None)
+            if isinstance(key, FileKey):
+                self._file_index.clear((key.fs_id, key.ino), key.index)
         return removed
 
     def mark_file_clean(self, key: PageKey) -> None:
@@ -339,6 +387,9 @@ class MemoryManager:
 
         victims = self._reclaim(self._anon_pool, self._anon_capacity, 1)
         self._anon_pool.touch(key, dirty=True)
+        self._anon_index.set(
+            key.pid, key.index, self._anon_pool.resident_cell(key)
+        )
         self._anon_resident[key.pid] = self._anon_resident.get(key.pid, 0) + 1
 
         if touched_before and self.swap.slot_of(key) is not None:
@@ -366,13 +417,77 @@ class MemoryManager:
     def anon_resident(self, key: AnonKey) -> bool:
         return self._anon_pool.contains(key)
 
+    def touch_anon_resident_run(
+        self, pid: int, start: int, stop: int, step: int = 1
+    ) -> int:
+        """Bulk RESIDENT-case fault over a strided page run.
+
+        When every page of ``range(start, stop, step)`` (absolute page
+        numbers) is resident, dirty-touch them all — pool state, hit
+        counts, and the fault counter exactly as that many
+        :meth:`anon_fault_resident` calls in order — and return the page
+        count.  Returns 0 (nothing mutated) when any page is absent,
+        sending the caller down the scalar fault path.  The membership
+        test is one numpy slice, the touch one
+        :meth:`~repro.sim.cache.base.CachePolicy.reference_cells` call.
+        """
+        cells = self._anon_index.cells_if_all_present(pid, start, stop, step)
+        if cells is None:
+            return 0
+        self._anon_pool.reference_cells(cells, True)
+        count = len(cells)
+        if self.obs.enabled:
+            self._fault_counters[FaultKind.RESIDENT].value += count
+        return count
+
+    def anon_zero_fill_run(self, pid: int, start: int, stop: int) -> bool:
+        """Bulk ZERO_FILL: insert ``[start, stop)`` as one batch.
+
+        Preconditions checked here: the pool has room for the whole run
+        without reclaiming (so no intermediate step of the equivalent
+        sequential faults would have evicted anything) and no page of
+        the run is already resident.  The caller guarantees the pages
+        were never touched (fresh region pages — so no swap slots
+        exist).  On True, pool state, miss counts, per-pid residency,
+        and the fault counter match ``stop - start`` sequential
+        zero-fill faults; on False nothing is mutated.
+        """
+        count = stop - start
+        pool = self._anon_pool
+        if len(pool) + count > self._anon_capacity:
+            return False
+        if not self._anon_index.all_absent_run(pid, start, stop):
+            return False
+        keys = [AnonKey(pid, page) for page in range(start, stop)]
+        cells = pool.insert_absent_many(keys, True)
+        self._anon_index.register_run(pid, start, cells)
+        self._anon_resident[pid] = self._anon_resident.get(pid, 0) + count
+        if self.obs.enabled:
+            self._fault_counters[FaultKind.ZERO_FILL].value += count
+        return True
+
     def free_anon_pages(self, pid: int, keys: List[AnonKey]) -> int:
-        """Release pages on vm_free/exit; returns pages actually resident."""
+        """Release pages on vm_free/exit; returns pages actually resident.
+
+        Free storms are region-sized (thousands of pages), so the loop
+        binds the pool's remove once, batches the residency-mirror
+        clears under a single owner lookup, and skips the swap-slot
+        sweep entirely while no page of any process is swapped out —
+        the common case for a machine that never came under pressure.
+        """
         freed = 0
+        remove = self._anon_pool.remove
+        cleared: List[int] = []
         for key in keys:
-            if self._anon_pool.remove(key):
+            if remove(key):
                 freed += 1
-            self.swap.discard(key)
+                cleared.append(key.index)
+        if cleared:
+            self._anon_index.clear_many(pid, cleared)
+        if self.swap.in_use():
+            discard = self.swap.discard
+            for key in keys:
+                discard(key)
         if freed:
             self._anon_resident[pid] = self._anon_resident.get(pid, freed) - freed
         return freed
@@ -383,3 +498,4 @@ class MemoryManager:
             self._anon_pool.remove(key)
         self.swap.discard_process(pid)
         self._anon_resident.pop(pid, None)
+        self._anon_index.drop_owner(pid)

@@ -61,6 +61,10 @@ class SwapSpace:
         heapq.heappush(self._free, slot)
         return slot
 
+    def in_use(self) -> bool:
+        """True while any slot is assigned (guards per-key discard sweeps)."""
+        return bool(self._slot_of)
+
     def discard(self, key: AnonKey) -> None:
         """Free a slot for a page whose process freed or exited (no I/O)."""
         slot = self._slot_of.pop(key, None)

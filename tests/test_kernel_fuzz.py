@@ -407,6 +407,215 @@ def test_differential_noisy_replay_is_deterministic():
 
 
 # ---------------------------------------------------------------------------
+# Vectorized vs scalar: the numpy fast paths must be invisible
+# ---------------------------------------------------------------------------
+def obs_digest(kernel: Kernel) -> str:
+    """Hash of the full observability stream (simulated stamps only)."""
+    return hashlib.sha256(repr(list(kernel.obs.events)).encode()).hexdigest()
+
+
+def vector_workout(seed: int, steps: int, page: int = 4 * KIB):
+    """A stream shaped to cross every vectorized fast path *and* its
+    scalar fallback: contiguous zero-fill runs, resident re-touch runs,
+    strided batches, uniform and mixed-length pread batches, dcache
+    stat replays, and writeback storms large enough to take the numpy
+    run-coalescing path."""
+    rng = random.Random(seed)
+    fd = (yield sc.create("/mnt0/vw.dat")).value
+    yield sc.write(fd, 2 * MIB)  # > _NUMPY_RUNS_MIN blocks: numpy runs
+    region = (yield sc.vm_alloc(64 * page)).value
+    yield sc.touch_range(region, 0, 64)  # tier-2 zero-fill run
+    paths = []
+    for i in range(3):
+        path = f"/mnt0/vw{i}"
+        nfd = (yield sc.create(path)).value
+        yield sc.write(nfd, 16 * KIB)
+        yield sc.close(nfd)
+        paths.append(path)
+    for _ in range(steps):
+        action = rng.randrange(6)
+        if action == 0:
+            yield sc.touch_range(region, rng.randrange(32), 1 + rng.randrange(32))
+        elif action == 1:
+            yield sc.touch_batch(
+                region, rng.randrange(8), 1 + rng.randrange(16),
+                stride=1 + rng.randrange(3),
+            )
+        elif action == 2:
+            offsets = [rng.randrange(2 * MIB) for _ in range(12)]
+            length = 1 if rng.randrange(2) else 1 + rng.randrange(64)
+            yield sc.pread_batch(fd, [(o, length) for o in offsets])
+        elif action == 3:
+            # Mixed lengths; some spill over a page edge (scalar path).
+            probes = [
+                (rng.randrange(2 * MIB), 1 + rng.randrange(8 * KIB))
+                for _ in range(10)
+            ]
+            yield sc.pread_batch(fd, probes)
+        elif action == 4:
+            yield sc.stat_batch(paths)
+        else:
+            yield sc.write(fd, rng.randrange(1, 128 * KIB))
+    yield sc.close(fd)
+    yield sc.vm_free(region)
+    return "survived"
+
+
+def _run_mode_twin(seed: int, numpy_paths: bool, noisy: bool):
+    kernel = Kernel(small_config(), numpy_paths=numpy_paths)
+    injector = None
+    if noisy:
+        injector = FaultInjector(_probe_jitter_config(seed))
+        injector.install(kernel)
+    assert kernel.run_process(vector_workout(seed, 20), "vw") == "survived"
+    assert kernel.run_process(probe_process(seed, 10, batch=True), "probe") == "survived"
+    schedule = injector.schedule_digest() if injector is not None else ""
+    return kernel.clock.now, state_digest(kernel), obs_digest(kernel), schedule
+
+
+@pytest.mark.parametrize("noisy", [False, True])
+def test_differential_numpy_vs_scalar_paths(noisy):
+    """30 twin pairs per mode: a ``numpy_paths=False`` compatibility
+    kernel must be byte-indistinguishable — same clock, same machine
+    state, same obs records, same injector schedule — from the
+    vectorized default over a workload shaped to cross every fast path."""
+    for case in range(30):
+        seed = 0x7EC + 541 * case
+        vec = _run_mode_twin(seed, numpy_paths=True, noisy=noisy)
+        sca = _run_mode_twin(seed, numpy_paths=False, noisy=noisy)
+        assert vec == sca, (
+            f"numpy/scalar divergence (noisy={noisy}): reproduce with "
+            f"seed={seed} ({vec} != {sca})"
+        )
+
+
+@pytest.mark.parametrize("numpy_paths", [True, False])
+def test_differential_touch_range_vs_touch_batch(numpy_paths):
+    """touch_range must be touch_batch at stride 1 with no predicate:
+    same per-page times, same clock, same machine — in both kernel
+    modes (the two syscalls share one interior; this pins the routing)."""
+    for case in range(12):
+        seed = 0x7A9 + 211 * case
+        rng = random.Random(seed)
+        plan = [
+            (rng.randrange(24), 1 + rng.randrange(40))
+            for _ in range(10)
+        ]
+
+        def run(use_range: bool):
+            kernel = Kernel(small_config(), numpy_paths=numpy_paths)
+
+            def app():
+                region = (yield sc.vm_alloc(64 * 4 * KIB)).value
+                collected = []
+                for start, npages in plan:
+                    if use_range:
+                        result = yield sc.touch_range(region, start, npages)
+                        collected.append(list(result.value))
+                    else:
+                        result = yield sc.touch_batch(region, start, npages)
+                        collected.append(list(result.value.elapsed_ns))
+                yield sc.vm_free(region)
+                return collected
+            times = kernel.run_process(app(), "touch")
+            return times, kernel.clock.now, state_digest(kernel)
+
+        as_range, as_batch = run(True), run(False)
+        assert as_range == as_batch, (
+            f"touch_range/touch_batch divergence "
+            f"(numpy_paths={numpy_paths}): reproduce with seed={seed}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Policy batch primitives: batched update == sequential fold
+# ---------------------------------------------------------------------------
+def _policy_dump(policy):
+    """Complete visible state of a policy, for exact twin comparison."""
+    from repro.sim.cache.clockpolicy import ClockPolicy
+    from repro.sim.cache.segmap import SegmapPolicy
+
+    if isinstance(policy, ClockPolicy):
+        rings = [
+            [(key, frame.referenced, frame.dirty) for key, frame in ring.items()]
+            for ring in (policy._file_ring, policy._anon_ring)
+        ]
+        state = ("clock", rings)
+    elif isinstance(policy, SegmapPolicy):
+        state = (
+            "segmap",
+            [(owner, list(pages.items())) for owner, pages in policy._owners.items()],
+            sorted(policy._first_seen.items()),
+        )
+    else:
+        state = ("lru", list(policy._pages.items()))
+    return state, policy.stats.hits, policy.stats.misses, len(policy)
+
+
+def _fresh_policies():
+    from repro.sim.cache.clockpolicy import ClockPolicy
+    from repro.sim.cache.lru import LRUPolicy
+    from repro.sim.cache.segmap import SegmapPolicy
+
+    return [LRUPolicy(), ClockPolicy(), SegmapPolicy()]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    warm=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=30), st.booleans()),
+        max_size=24,
+    ),
+    hit_picks=st.lists(st.integers(min_value=0, max_value=30), max_size=12),
+    batch_dirty=st.booleans(),
+    fresh=st.sets(st.integers(min_value=100, max_value=130), max_size=12),
+)
+def test_policy_batch_equals_sequential_fold(warm, hit_picks, batch_dirty, fresh):
+    """``reference_cells`` == N resident touches and
+    ``insert_absent_many`` == N absent touches, for every policy.
+
+    The twin policies see the same warm-up stream; then one applies the
+    batched primitives while the other folds the equivalent ``touch``
+    loop, and their full state (order, dirty/reference bits, owner
+    bookkeeping, hit/miss counters) must match exactly.
+    """
+    from repro.sim.cache.base import FileKey
+
+    def key_of(i):
+        return FileKey(0, 1 + i % 3, i)  # a few distinct owners
+
+    for batched, folded in zip(_fresh_policies(), _fresh_policies()):
+        for i, dirty in warm:
+            batched.touch(key_of(i), dirty)
+            folded.touch(key_of(i), dirty)
+
+        resident = {key for key in batched.keys()}
+        hits = [key_of(i) for i in hit_picks if key_of(i) in resident]
+        if hits:
+            cells = [batched.resident_cell(key) for key in hits]
+            batched.reference_cells(cells, batch_dirty)
+            for key in hits:
+                folded.touch(key, batch_dirty)
+
+        absent = [key_of(i) for i in sorted(fresh)]
+        if absent:
+            batched.insert_absent_many(absent, batch_dirty)
+            for key in absent:
+                folded.touch(key, batch_dirty)
+
+        assert _policy_dump(batched) == _policy_dump(folded), (
+            type(batched).__name__
+        )
+
+        # And the two must keep agreeing through victim selection.
+        if len(batched):
+            want = min(len(batched), 5)
+            assert [e.key for e in batched.pop_victims(want)] == [
+                e.key for e in folded.pop_victims(want)
+            ], type(batched).__name__
+
+
+# ---------------------------------------------------------------------------
 # Attribution invariants: random storms must stay correctly attributed
 # ---------------------------------------------------------------------------
 @settings(max_examples=20, deadline=None)
