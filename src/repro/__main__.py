@@ -11,6 +11,8 @@ Usage::
     python -m repro fig5 --cache-dir /tmp/repro-cache
     python -m repro observe scan --out observe-scan.jsonl
     python -m repro fig2 --metrics-out fig2-metrics.jsonl
+    python -m repro arena --n 64 --out arena.jsonl --report arena.json
+    python -m repro arena --sweep 1,8,64,1024 --policy weighted
 
 Trials fan out over a process pool (``--jobs N``) and completed trials
 are cached on disk (default ``.repro-cache/``, or ``$REPRO_CACHE_DIR``;
@@ -24,6 +26,13 @@ span as JSONL; ``--chrome-trace FILE`` additionally writes a
 Perfetto-loadable Chrome trace of the run; ``--metrics-out FILE``
 writes the runner telemetry and per-trial metric samples of any
 figure/ablation run to JSONL for offline analysis.
+
+``arena`` interleaves N gray-box tenants on one shared kernel
+(:mod:`repro.experiments.arena`): ``--n N`` runs one arena and prints
+the per-client fairness/accuracy/throughput report (``--out`` dumps the
+attributed obs stream as JSONL, ``--report`` the report as JSON);
+``--sweep N,N,...`` (or ``--sweep default`` for 1→1024) prints the
+contention sweep table.
 """
 
 from __future__ import annotations
@@ -76,7 +85,11 @@ USAGE = (
     "usage: python -m repro <name> [<name> ...] [--jobs N] [--no-cache]"
     " [--cache-dir DIR] [--plot] [--metrics-out FILE]\n"
     "       python -m repro observe [scan|fldc|mac|contention]"
-    " [--out FILE] [--chrome-trace FILE]"
+    " [--out FILE] [--chrome-trace FILE]\n"
+    "       python -m repro arena [--n N | --sweep N,N,...]"
+    " [--policy round-robin|weighted|random] [--seed S]\n"
+    "                             [--mix kind=w,...] [--out FILE]"
+    " [--report FILE]"
 )
 
 
@@ -94,6 +107,12 @@ def main(argv) -> int:
     metrics_out = None
     out_path = None
     chrome_trace = None
+    arena_n = None
+    arena_sweep_arg = None
+    arena_policy = "round-robin"
+    arena_seed = None
+    arena_mix = None
+    report_path = None
     names: List[str] = []
     i = 0
     while i < len(args):
@@ -103,7 +122,8 @@ def main(argv) -> int:
         elif arg == "--no-cache":
             use_cache = False
         elif arg in ("--jobs", "--cache-dir", "--metrics-out", "--out",
-                     "--chrome-trace"):
+                     "--chrome-trace", "--n", "--sweep", "--policy",
+                     "--seed", "--mix", "--report"):
             if i + 1 >= len(args):
                 print(f"{arg} needs a value", file=sys.stderr)
                 print(USAGE, file=sys.stderr)
@@ -124,6 +144,18 @@ def main(argv) -> int:
                 metrics_out = value
             elif arg == "--chrome-trace":
                 chrome_trace = value
+            elif arg == "--n":
+                arena_n = value
+            elif arg == "--sweep":
+                arena_sweep_arg = value
+            elif arg == "--policy":
+                arena_policy = value
+            elif arg == "--seed":
+                arena_seed = value
+            elif arg == "--mix":
+                arena_mix = value
+            elif arg == "--report":
+                report_path = value
             else:
                 out_path = value
         elif arg.startswith("--metrics-out="):
@@ -155,6 +187,57 @@ def main(argv) -> int:
         names = names[1:] or ["all"]
     if "--all" in names:
         names = [n for n in names if n != "--all"] or ["all"]
+
+    if names and names[0] == "arena":
+        from repro.experiments.arena import (
+            ARENA_SEED,
+            DEFAULT_MIX,
+            SWEEP_NS,
+            arena_sweep,
+            render_sweep,
+            run_arena,
+        )
+        from repro.sim.arena import POLICIES
+
+        if arena_policy not in POLICIES:
+            print(
+                f"unknown policy {arena_policy!r}"
+                f" (choose from {', '.join(POLICIES)})",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            seed = int(arena_seed, 0) if arena_seed is not None else ARENA_SEED
+        except ValueError:
+            print("--seed needs an integer", file=sys.stderr)
+            return 2
+        mix = arena_mix or DEFAULT_MIX
+        try:
+            if arena_sweep_arg is not None:
+                ns = (
+                    SWEEP_NS
+                    if arena_sweep_arg == "default"
+                    else tuple(
+                        int(part) for part in arena_sweep_arg.split(",") if part
+                    )
+                )
+                reports = arena_sweep(ns, policy=arena_policy, seed=seed, mix=mix)
+                print(render_sweep(reports))
+            else:
+                n = int(arena_n) if arena_n is not None else 8
+                report = run_arena(
+                    n,
+                    policy=arena_policy,
+                    seed=seed,
+                    mix=mix,
+                    out_path=out_path,
+                    report_path=report_path,
+                )
+                print(report.render())
+        except ValueError as exc:
+            print(f"arena: {exc}", file=sys.stderr)
+            return 2
+        return 0
 
     if names and names[0] == "observe":
         from repro.experiments.observe import SCENARIOS, observe_figure
@@ -191,6 +274,7 @@ def main(argv) -> int:
             print(f"  {name}")
         print("  all")
         print("  observe")
+        print("  arena")
         print(f"\n{USAGE}")
         return 0 if names else 2
     if names == ["all"]:

@@ -214,11 +214,15 @@ def _contention_scenario(kernel: Kernel, config: MachineConfig, seed: int) -> An
 
     Each client's file is ~70% of memory, so the two working sets cannot
     coexist: client A's probe misses reclaim client B's pages and vice
-    versa.  The clients interleave batch-by-batch on the scheduler, and
-    attribution turns the shared stream into per-client views plus a
-    non-trivial interference matrix — which is what the acceptance test
-    asserts.
+    versa.  This is the multi-tenant arena at N=2: the clients run as
+    resumable steppers under :class:`repro.sim.arena.Arena` with a
+    round-robin policy, yielding :data:`~repro.sim.arena.STEP` per probe
+    batch, and attribution turns the shared stream into per-client views
+    plus a non-trivial interference matrix — which is what the
+    acceptance test asserts.
     """
+    from repro.sim.arena import Arena, RoundRobinPolicy
+
     paths = {"client_a": "/mnt0/client_a.dat", "client_b": "/mnt0/client_b.dat"}
     nbytes = config.available_bytes * 7 // 10
 
@@ -231,18 +235,20 @@ def _contention_scenario(kernel: Kernel, config: MachineConfig, seed: int) -> An
             access_unit_bytes=4 * MIB,
             prediction_unit_bytes=256 * KIB,
             obs=kernel.obs,
+            step_markers=True,
         )
         plan = yield from fccd.plan_file(path, rounds=2)
         return plan.total_probes
 
-    procs = {
-        name: kernel.spawn(client(i, path), name)
-        for i, (name, path) in enumerate(sorted(paths.items()))
-    }
-    kernel.run()
+    arena = Arena(kernel, policy=RoundRobinPolicy(), seed=seed)
+    for i, (name, path) in enumerate(sorted(paths.items())):
+        arena.add_client(
+            name, lambda _c, i=i, path=path: client(i, path), kind="fccd"
+        )
+    clients = arena.run()
     return {
-        "pids": {name: proc.pid for name, proc in procs.items()},
-        "probes": {name: proc.result for name, proc in procs.items()},
+        "pids": {c.name: c.pid for c in clients},
+        "probes": {c.name: c.result for c in clients},
     }
 
 

@@ -13,6 +13,7 @@ from typing import Dict, Generator, List, Optional
 
 from repro.obs import DISABLED, Observability
 from repro.sim import syscalls as sc
+from repro.sim.arena import STEP
 from repro.sim.errors import TransientError
 from repro.sim.syscalls import Syscall
 from repro.toolbox.repository import ParameterRepository
@@ -84,6 +85,7 @@ class ICL:
         rng: Optional[random.Random] = None,
         obs: Optional[Observability] = None,
         retry: Optional[Backoff] = None,
+        step_markers: bool = False,
     ) -> None:
         self.repository = repository or ParameterRepository()
         self.rng = rng or random.Random(0x6B0C5)
@@ -94,6 +96,25 @@ class ICL:
         # ``toolbox.NO_RETRY`` to let transients propagate (the
         # robustness sweep's unhardened baseline).
         self.retry = retry if retry is not None else Backoff()
+        # Arena protocol (repro.sim.arena): with ``step_markers`` on,
+        # the drive loops yield a STEP sentinel after each probe batch
+        # so an arena shell can park the client there.  Off (the
+        # default), ``checkpoint`` yields nothing and every drive loop
+        # remains a plain run-to-completion syscall generator.
+        self.step_markers = step_markers
+
+    def checkpoint(self) -> Generator:
+        """Mark a resumable step boundary (``yield from`` in drive loops).
+
+        Yields :data:`~repro.sim.arena.STEP` when :attr:`step_markers`
+        is set, nothing otherwise — the sequential fallback is the same
+        generator minus the marker, not a second code path.  The marker
+        is host-side only (the arena's park syscall has zero simulated
+        duration), so stepped and unstepped runs observe identical
+        timings.
+        """
+        if self.step_markers:
+            yield STEP
 
     def _retry(self, syscall: Syscall) -> Generator:
         """Issue ``syscall``, absorbing transient faults with backoff.

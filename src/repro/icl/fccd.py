@@ -118,6 +118,7 @@ class FCCD(ICL):
         batch_probes: bool = True,
         retry=None,
         max_resamples: int = 0,
+        step_markers: bool = False,
     ) -> None:
         """``probe_placement`` is ``"random"`` (the paper's choice) or
         ``"fixed"`` (probe the middle byte of every prediction unit).
@@ -137,7 +138,7 @@ class FCCD(ICL):
         extra rounds when outlier rejection discards observations, and
         confidence-gated ordering may re-plan when the cached/uncached
         clustering is ambiguous."""
-        super().__init__(repository, rng, obs, retry)
+        super().__init__(repository, rng, obs, retry, step_markers)
         self.batch_probes = batch_probes
         if max_resamples < 0:
             raise ValueError("max_resamples must be >= 0")
@@ -235,6 +236,9 @@ class FCCD(ICL):
                     span.attrs["probe_ns"] = total
             self.obs.count("icl.fccd.probes", count)
             segments.append(AccessSegment(offset, length, total, count))
+            # One access unit's probes = one arena step (no-op unless
+            # step_markers is set — see ICL.checkpoint).
+            yield from self.checkpoint()
         return segments
 
     def probe_fd_repeated(

@@ -57,13 +57,13 @@ class FLDC(ICL):
 
     def __init__(
         self, repository=None, rng=None, obs=None, batch_probes: bool = True,
-        retry=None,
+        retry=None, step_markers: bool = False,
     ) -> None:
         """``batch_probes`` (default on) sweeps paths with one vectored
         ``stat_batch`` per call instead of per-path ``stat`` calls; path
         resolution walks identical cache state in identical order, so
         the observed i-numbers and stat latencies are unchanged."""
-        super().__init__(repository, rng, obs, retry)
+        super().__init__(repository, rng, obs, retry, step_markers)
         self.batch_probes = batch_probes
 
     # ------------------------------------------------------------------
@@ -84,6 +84,8 @@ class FLDC(ICL):
                 for path in paths:
                     stats[path] = (yield from self._retry(sc.stat(path))).value
         self.obs.count("icl.fldc.stats", len(paths))
+        # One stat sweep = one arena step (no-op unless step_markers).
+        yield from self.checkpoint()
         return stats
 
     def layout_order(self, paths: Sequence[str]) -> Generator:
@@ -189,6 +191,9 @@ class FLDC(ICL):
                 )
                 st = stats[name]
                 yield sc.utimes(f"{tmp_path}/{name}", st.atime, st.mtime)
+                # Each copied file is an arena step: a refresh of a big
+                # directory must not monopolize the shared kernel.
+                yield from self.checkpoint()
             for name in ordered:
                 yield sc.unlink(f"{dir_path}/{name}")
             yield sc.rmdir(dir_path)

@@ -86,8 +86,9 @@ class MAC(ICL):
         retry=None,
         robust_verify: bool = False,
         verify_retries: int = 0,
+        step_markers: bool = False,
     ) -> None:
-        super().__init__(repository, rng, obs, retry)
+        super().__init__(repository, rng, obs, retry, step_markers)
         # Batched probing (default on) issues each probe loop as one
         # vectored ``touch_batch`` carrying the same windowed slow
         # detector kernel-side, so timings, pages touched, and abort
@@ -405,6 +406,9 @@ class MAC(ICL):
                         increment = max(increment // 2, self.initial_increment_pages)
                     else:
                         increment = self.initial_increment_pages
+                # One alloc round (probe + verify of one chunk) is one
+                # arena step (no-op unless step_markers is set).
+                yield from self.checkpoint()
 
             granted = (confirmed * page // multiple_bytes) * multiple_bytes
             granted = min(granted, maximum_bytes)
@@ -456,6 +460,9 @@ class MAC(ICL):
             yield sc.sleep(retry_ns)
             self.stats.waits += 1
             self.obs.count("icl.mac.waits")
+            # Each failed admission attempt is an arena step: a waiting
+            # tenant must not hold the shared kernel while it polls.
+            yield from self.checkpoint()
 
 
 @dataclass

@@ -12,6 +12,7 @@ converts validated artifacts into a Perfetto-loadable trace
 
 from __future__ import annotations
 
+import hashlib
 import json
 import sys
 from pathlib import Path
@@ -36,6 +37,29 @@ def write_jsonl(path: Union[str, Path],
             handle.write("\n")
             count += 1
     return count
+
+
+def stream_digest(records: Iterable[Dict[str, Any]]) -> str:
+    """A stable sha256 over a stream's events, spans, and pid ledgers.
+
+    This is the arena's determinism pin: same seed ⇒ identical digest
+    across runs and across client construction orders (and a tracked
+    baseline digest in ``BENCH_arena.json``).  Each covered record is
+    canonicalized (sorted keys, no whitespace) and fed to the hash in
+    stream order; ``metric`` samples are excluded so the pin covers
+    exactly the attributed event stream plus the per-pid syscall
+    ledgers, independent of which registry instruments happen to exist.
+    """
+    digest = hashlib.sha256()
+    for record in records:
+        if record.get("type") not in ("event", "span", "pid_stats"):
+            continue
+        canonical = json.dumps(
+            _jsonable(record), sort_keys=True, separators=(",", ":")
+        )
+        digest.update(canonical.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
 
 
 def read_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:

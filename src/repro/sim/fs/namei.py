@@ -50,7 +50,12 @@ from repro.sim.vm.physmem import MemoryManager
 #: :attr:`NameLayer.stat_epoch` before dispatching anything else, so an
 #: unlisted (or future) syscall can only ever *invalidate* memoized
 #: StatResults, never let a stale one escape.
-STAT_PRESERVING_SYSCALLS = frozenset({"stat", "stat_batch", "gettime", "sleep"})
+#: ``arena_park`` is the arena's zero-duration step-boundary gate
+#: (:mod:`repro.sim.arena`) — pure scheduling, no inode ever touched —
+#: listed so parking between probe batches can't defeat memoization.
+STAT_PRESERVING_SYSCALLS = frozenset(
+    {"stat", "stat_batch", "gettime", "sleep", "arena_park"}
+)
 
 
 class NameLayer:

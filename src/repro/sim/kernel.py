@@ -74,6 +74,7 @@ class Kernel:
         inodes_per_cg: int = 1024,
         fs_class: type = FFS,
         obs: Optional[Observability] = None,
+        event_capacity: Optional[int] = None,
         name_cache: bool = True,
         numpy_paths: bool = True,
     ) -> None:
@@ -87,7 +88,15 @@ class Kernel:
         # Pass a disabled instance to opt out (the overhead benchmark's
         # baseline); stats sources are never registered on a disabled
         # registry so the shared DISABLED instance stays empty.
-        self.obs = obs if obs is not None else Observability(self.clock)
+        # ``event_capacity`` sizes the event ring (multi-tenant arena
+        # runs scale it with N so early ``kernel.spawn`` events — which
+        # the JSONL validator's pid check needs — survive the run).
+        if obs is not None:
+            self.obs = obs
+        elif event_capacity is not None:
+            self.obs = Observability(self.clock, event_capacity=event_capacity)
+        else:
+            self.obs = Observability(self.clock)
 
         self.data_disk_list = [Disk(cfg.disk, disk_id=i) for i in range(cfg.data_disks)]
         self.swap_disk = Disk(cfg.disk, disk_id=cfg.data_disks)
@@ -256,6 +265,41 @@ class Kernel:
         finally:
             # Attribution ends with the dispatch loop: host-side records
             # emitted after run() must not inherit the last pid.
+            self.obs.set_pid(None)
+
+    def run_until_blocked(self, max_steps: Optional[int] = None) -> int:
+        """Dispatch until no process is READY; returns syscalls executed.
+
+        The arena's slice primitive (:mod:`repro.sim.arena`): between
+        grants every client is BLOCKED on ``arena_park``, which
+        :meth:`run` would report as a deadlock.  Here remaining blocked
+        processes are the *expected* end state of a slice — the caller,
+        which knows which blocks are deliberate parks, owns deadlock
+        detection.  Dispatch itself is identical to :meth:`run`, so
+        anything a slice wakes (children, pipe peers) proceeds by
+        simulated readiness exactly as it would there.
+        """
+        next_ready = self.scheduler.next_ready
+        advance_to = self.clock.advance_to
+        step = self._step
+        profiler = PROFILER
+        steps = 0
+        try:
+            while True:
+                if profiler.enabled:
+                    _t0 = perf_counter_ns()
+                    process = next_ready()
+                    profiler.add("sched.next_ready", perf_counter_ns() - _t0)
+                else:
+                    process = next_ready()
+                if process is None:
+                    return steps
+                advance_to(process.ready_at)
+                step(process)
+                steps += 1
+                if max_steps is not None and steps >= max_steps:
+                    raise RuntimeError(f"exceeded max_steps={max_steps}")
+        finally:
             self.obs.set_pid(None)
 
     def run_process(self, gen: Generator, name: str = "") -> Any:

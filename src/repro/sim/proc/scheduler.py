@@ -100,10 +100,15 @@ class Scheduler:
         pid = process.pid
         self.processes[pid] = process
         tab = self._proc_tab
-        while len(tab) <= pid:  # grow all three arrays in lockstep
-            tab.append(None)
-            self._state_tab.append(_FREE)
-            self._ready_tab.append(0)
+        if len(tab) <= pid:
+            # Amortized growth: double capacity (at least to pid+1) with
+            # one extend per array instead of appending slot-by-slot —
+            # the arena spawns thousands of clients back to back, and
+            # per-spawn cost must not scale with the table size.
+            grow = max(pid + 1 - len(tab), len(tab))
+            tab.extend([None] * grow)
+            self._state_tab.extend([_FREE] * grow)
+            self._ready_tab.extend([0] * grow)
         tab[pid] = process
         self._runnable += 1  # processes are born READY
         self.make_ready(process, process.ready_at)
@@ -154,6 +159,25 @@ class Scheduler:
         self._proc_tab[pid] = None  # finished dict keeps the waitpid ref
         self.processes.pop(pid, None)
         self.finished[pid] = process
+
+    def reap(self, pid: int) -> bool:
+        """Drop a DONE process's PCB entirely; ``waitpid`` loses sight of it.
+
+        :attr:`finished` is kept for ``waitpid``, which means it grows
+        without bound over a long run.  A parent that has already
+        collected a child's result (the arena collecting its clients)
+        reaps it so the retired population stays O(live), not O(ever
+        spawned).  Returns False when the pid is not in ``finished``
+        (still live, never spawned, or already reaped) — live processes
+        are deliberately not reapable.
+        """
+        process = self.finished.pop(pid, None)
+        if process is None:
+            return False
+        # Free the PCB slot: any stale heap entry for this pid now fails
+        # the `_READY` validity test exactly as it did under `_DONE`.
+        self._state_tab[pid] = _FREE
+        return True
 
     def lookup(self, pid: int) -> Optional[Process]:
         """Find a process, live or finished (the waitpid view)."""

@@ -80,40 +80,50 @@ def two_means(values: Sequence[float]) -> ClusterSplit:
             total_ss=_ss(ordered),
         )
 
-    prefix = [0.0]
-    prefix_sq = [0.0]
-    for value in ordered:
-        prefix.append(prefix[-1] + value)
-        prefix_sq.append(prefix_sq[-1] + value * value)
+    # Welford scans from both ends give the within-SS of every prefix
+    # and suffix in O(n) without the catastrophic cancellation of the
+    # textbook sum-of-squares prefix formula (probe times cluster
+    # tightly around large magnitudes, so Σx² − (Σx)²/n cancels away
+    # most of the significant digits).
+    left_mean = [0.0] * (n + 1)
+    left_ss = [0.0] * (n + 1)
+    mean = m2 = 0.0
+    for i, value in enumerate(ordered, start=1):
+        delta = value - mean
+        mean += delta / i
+        m2 += delta * (value - mean)
+        left_mean[i] = mean
+        left_ss[i] = m2
 
-    def group_ss(lo: int, hi: int) -> float:
-        """Within-SS of ordered[lo:hi]."""
-        count = hi - lo
-        total = prefix[hi] - prefix[lo]
-        total_sq = prefix_sq[hi] - prefix_sq[lo]
-        return total_sq - total * total / count
+    right_mean = [0.0] * (n + 1)
+    right_ss = [0.0] * (n + 1)
+    mean = m2 = 0.0
+    for j, value in enumerate(reversed(ordered), start=1):
+        delta = value - mean
+        mean += delta / j
+        m2 += delta * (value - mean)
+        right_mean[n - j] = mean
+        right_ss[n - j] = m2
 
     best_cut = 1
     best_ss = float("inf")
     for cut in range(1, n):
-        ss = group_ss(0, cut) + group_ss(cut, n)
+        ss = left_ss[cut] + right_ss[cut]
         if ss < best_ss:
             best_ss = ss
             best_cut = cut
 
     low_idx = tuple(order[:best_cut])
     high_idx = tuple(order[best_cut:])
-    low_center = (prefix[best_cut] - prefix[0]) / best_cut
-    high_center = (prefix[n] - prefix[best_cut]) / (n - best_cut)
     threshold = (ordered[best_cut - 1] + ordered[best_cut]) / 2.0
     return ClusterSplit(
         low_group=low_idx,
         high_group=high_idx,
-        low_center=low_center,
-        high_center=high_center,
+        low_center=left_mean[best_cut],
+        high_center=right_mean[best_cut],
         threshold=threshold,
         within_ss=best_ss,
-        total_ss=group_ss(0, n),
+        total_ss=left_ss[n],
     )
 
 
