@@ -33,6 +33,12 @@ the per-client fairness/accuracy/throughput report (``--out`` dumps the
 attributed obs stream as JSONL, ``--report`` the report as JSON);
 ``--sweep N,N,...`` (or ``--sweep default`` for 1→1024) prints the
 contention sweep table.
+
+``channels`` transmits a framed payload over a covert channel between
+two arena tenants (:mod:`repro.experiments.channels`) and reports
+bandwidth and bit-error rate — ``--channel residency|writeback|both``,
+``--noise L`` for the injector ladder, ``--n-background K`` for cache
+pressure, ``--sweep`` for the channel x platform x noise grid.
 """
 
 from __future__ import annotations
@@ -79,6 +85,12 @@ EXPERIMENTS: Dict[str, Callable] = {
     "ablation-refresh-policy": ablation_refresh_policy,
     "extension-lfs": lfs_ordering_experiment,
     "robustness": robustness_noise_sweep,
+    # Single-domain ablations: attribute an accuracy (or covert-channel
+    # capacity) loss to one defensive knob at a time.
+    "robustness-latency": lambda: robustness_noise_sweep(domain="latency"),
+    "robustness-faults": lambda: robustness_noise_sweep(domain="faults"),
+    "robustness-sched": lambda: robustness_noise_sweep(domain="sched"),
+    "robustness-background": lambda: robustness_noise_sweep(domain="background"),
 }
 
 USAGE = (
@@ -89,7 +101,11 @@ USAGE = (
     "       python -m repro arena [--n N | --sweep N,N,...]"
     " [--policy round-robin|weighted|random] [--seed S]\n"
     "                             [--mix kind=w,...] [--out FILE]"
-    " [--report FILE]"
+    " [--report FILE]\n"
+    "       python -m repro channels [--channel residency|writeback|both]"
+    " [--noise L] [--n-background K]\n"
+    "                                [--platform P] [--bits N] [--sweep]"
+    " [--out FILE] [--report FILE]"
 )
 
 
@@ -100,6 +116,12 @@ def _print_stats(stats_list) -> None:
 
 def main(argv) -> int:
     args = list(argv[1:])
+    # ``channels`` owns its own flag grammar (bare --sweep, --n-background),
+    # which the generic option loop below would misparse — delegate whole.
+    if args and args[0] == "channels":
+        from repro.experiments.channels import cli_main
+
+        return cli_main(args[1:])
     plot = False
     jobs = 1
     use_cache = True
@@ -275,6 +297,7 @@ def main(argv) -> int:
         print("  all")
         print("  observe")
         print("  arena")
+        print("  channels")
         print(f"\n{USAGE}")
         return 0 if names else 2
     if names == ["all"]:

@@ -45,6 +45,7 @@ from repro.sim import (
     Kernel,
     MachineConfig,
     MILLIS,
+    NOISE_DOMAINS,
     TransientError,
     noise_profile,
 )
@@ -120,8 +121,13 @@ def _binary_ordering_accuracy(
     return correct / len(pairs)
 
 
-def _install_noise(kernel: Kernel, level: float, seed: int) -> FaultInjector:
-    injector = FaultInjector(noise_profile(level, seed=seed))
+def _install_noise(
+    kernel: Kernel,
+    level: float,
+    seed: int,
+    domains: Optional[Tuple[str, ...]] = None,
+) -> FaultInjector:
+    injector = FaultInjector(noise_profile(level, seed=seed, domains=domains))
     injector.install(kernel)
     injector.spawn_interference(
         kernel, horizon_after(kernel, INTERFERENCE_HORIZON_NS)
@@ -138,6 +144,7 @@ def _fccd_robustness_trial(
     config: MachineConfig,
     level: float,
     hardened: bool,
+    domains: Optional[Tuple[str, ...]] = None,
     nfiles: int = 8,
     file_kib: int = 1024,
 ) -> Dict[str, object]:
@@ -164,7 +171,7 @@ def _fccd_robustness_trial(
 
     kernel.run_process(warm(), "warm")
 
-    injector = _install_noise(kernel, level, seed)
+    injector = _install_noise(kernel, level, seed, domains)
     fccd = FCCD(
         rng=random.Random(seed),
         access_unit_bytes=file_kib * KIB,
@@ -209,6 +216,7 @@ def _fldc_robustness_trial(
     config: MachineConfig,
     level: float,
     hardened: bool,
+    domains: Optional[Tuple[str, ...]] = None,
     nfiles: int = 12,
 ) -> Dict[str, object]:
     """Creation-order recovery accuracy for one FLDC sweep under noise."""
@@ -226,7 +234,7 @@ def _fldc_robustness_trial(
 
     creation_order = kernel.run_process(setup(), "setup")
 
-    injector = _install_noise(kernel, level, seed)
+    injector = _install_noise(kernel, level, seed, domains)
     # Per-path stat (not one batched call) in both variants: the two
     # configurations must face the same number of fault opportunities.
     fldc = FLDC(
@@ -263,10 +271,11 @@ def _mac_robustness_trial(
     config: MachineConfig,
     level: float,
     hardened: bool,
+    domains: Optional[Tuple[str, ...]] = None,
 ) -> Dict[str, object]:
     """Admission-decision correctness for one MAC run under noise."""
     kernel = Kernel(config)
-    injector = _install_noise(kernel, level, seed)
+    injector = _install_noise(kernel, level, seed, domains)
     available = config.available_bytes
     mac = MAC(
         page_size=config.page_size,
@@ -318,7 +327,12 @@ _TRIAL_FNS = {
 
 
 def _trial_spec(
-    icl: str, level: float, hardened: bool, trial: int, base_seed: int
+    icl: str,
+    level: float,
+    hardened: bool,
+    trial: int,
+    base_seed: int,
+    domains: Optional[Tuple[str, ...]] = None,
 ) -> TrialSpec:
     config = fccd_trial_config() if icl == "fccd" else small_trial_config()
     # Hardened and unhardened variants share a seed (only ``hardened``
@@ -328,7 +342,9 @@ def _trial_spec(
         experiment_id="robustness",
         trial_index=trial,
         fn=_TRIAL_FNS[icl],
-        params=dict(config=config, level=level, hardened=hardened),
+        params=dict(
+            config=config, level=level, hardened=hardened, domains=domains
+        ),
         seed=derive_seed(f"robustness-{icl}-{level:.2f}", trial, base_seed),
     )
 
@@ -341,14 +357,30 @@ def robustness_noise_sweep(
     trials: int = 3,
     icls: Sequence[str] = ("fccd", "fldc", "mac"),
     seed: int = 59,
+    domain: Optional[str] = None,
 ) -> FigureResult:
-    """ICL answer accuracy vs injected noise, hardened vs unhardened."""
+    """ICL answer accuracy vs injected noise, hardened vs unhardened.
+
+    ``domain`` restricts the injector to one noise family (a member of
+    :data:`repro.sim.NOISE_DOMAINS`: ``"latency"``, ``"faults"``,
+    ``"sched"``, or ``"background"``) so an accuracy drop — or a covert
+    channel's capacity loss under the same injector — can be attributed
+    to a specific defensive knob instead of the whole ladder at once.
+    ``None`` keeps the full profile.
+    """
     unknown = [name for name in icls if name not in _TRIAL_FNS]
     if unknown:
         raise ValueError(f"unknown ICL(s): {', '.join(unknown)}")
+    if domain is not None and domain not in NOISE_DOMAINS:
+        raise ValueError(
+            f"unknown noise domain {domain!r};"
+            f" choices: {', '.join(NOISE_DOMAINS)}"
+        )
+    domains = None if domain is None else (domain,)
     result = FigureResult(
-        figure_id="robustness",
-        title="ICL answer accuracy vs injected noise level",
+        figure_id="robustness" if domain is None else f"robustness-{domain}",
+        title="ICL answer accuracy vs injected noise level"
+        + ("" if domain is None else f" ({domain}-only noise)"),
         columns=[
             "icl",
             "noise_level",
@@ -359,7 +391,8 @@ def robustness_noise_sweep(
         ],
         scale_note=(
             f"noise budget {NOISE_BUDGET}; {trials} trial(s) per cell;"
-            " shared fault schedules per (level, trial)"
+            " shared fault schedules per (level, trial);"
+            f" domains={'all' if domain is None else domain}"
         ),
     )
     cells: List[Tuple[str, float, bool]] = []
@@ -368,7 +401,9 @@ def robustness_noise_sweep(
         for level in levels:
             for hardened in (True, False):
                 for trial in range(trials):
-                    specs.append(_trial_spec(icl, level, hardened, trial, seed))
+                    specs.append(
+                        _trial_spec(icl, level, hardened, trial, seed, domains)
+                    )
                     cells.append((icl, level, hardened))
     values = run_trials(specs)
     scores: Dict[Tuple[str, float, bool], List[float]] = {}

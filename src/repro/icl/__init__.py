@@ -8,6 +8,8 @@ Three case-study ICLs plus their composition and the ``gbp`` utility:
 * :mod:`~repro.icl.compose`    — FCCD∘FLDC composition via clustering (§4.2.4)
 * :mod:`~repro.icl.gbp`        — the command-line-tool equivalent for
   unmodified applications
+* :mod:`~repro.icl.channels`   — covert-channel sender/receiver pairs
+  (residency + dirty-writeback) built from the same probe primitives
 
 Every ICL method is a generator sub-routine used with ``yield from``
 inside a simulated process, and observes the OS only through syscalls
@@ -20,6 +22,17 @@ from repro.icl.fldc import FLDC, RefreshReport
 from repro.icl.mac import MAC, GbAllocation
 from repro.icl.compose import ComposedOrdering, compose_order
 from repro.icl import gbp
+from repro.icl.channels import (
+    DecodeResult,
+    FrameSpec,
+    ResidencyChannelReceiver,
+    ResidencyChannelSender,
+    WritebackChannelReceiver,
+    WritebackChannelSender,
+    ber,
+    decode_frame,
+    encode_frame,
+)
 
 __all__ = [
     "ICL",
@@ -34,4 +47,13 @@ __all__ = [
     "ComposedOrdering",
     "compose_order",
     "gbp",
+    "FrameSpec",
+    "DecodeResult",
+    "encode_frame",
+    "decode_frame",
+    "ber",
+    "ResidencyChannelSender",
+    "ResidencyChannelReceiver",
+    "WritebackChannelSender",
+    "WritebackChannelReceiver",
 ]

@@ -13,7 +13,7 @@ from typing import Dict, Generator, List, Optional
 
 from repro.obs import DISABLED, Observability
 from repro.sim import syscalls as sc
-from repro.sim.arena import STEP
+from repro.sim.arena import STEP, StepBoundary
 from repro.sim.errors import TransientError
 from repro.sim.syscalls import Syscall
 from repro.toolbox.repository import ParameterRepository
@@ -103,7 +103,7 @@ class ICL:
         # remains a plain run-to-completion syscall generator.
         self.step_markers = step_markers
 
-    def checkpoint(self) -> Generator:
+    def checkpoint(self, tag: object = None) -> Generator:
         """Mark a resumable step boundary (``yield from`` in drive loops).
 
         Yields :data:`~repro.sim.arena.STEP` when :attr:`step_markers`
@@ -112,9 +112,16 @@ class ICL:
         is host-side only (the arena's park syscall has zero simulated
         duration), so stepped and unstepped runs observe identical
         timings.
+
+        ``tag`` labels the boundary: the arena records ``(tag, now)`` in
+        the client's ``step_log`` before parking, which lets a harness
+        align two clients' turns (e.g. a covert-channel sender and
+        receiver agreeing on cell indices) without any simulated-time or
+        obs-stream side effect.  Untagged checkpoints share the single
+        :data:`STEP` instance, so existing drive loops allocate nothing.
         """
         if self.step_markers:
-            yield STEP
+            yield STEP if tag is None else StepBoundary(tag)
 
     def _retry(self, syscall: Syscall) -> Generator:
         """Issue ``syscall``, absorbing transient faults with backoff.

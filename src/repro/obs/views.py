@@ -28,6 +28,7 @@ __all__ = [
     "render_matrix",
     "process_names",
     "client_rollup",
+    "channel_summary",
 ]
 
 #: The pid bucket for records no simulated process was dispatched for.
@@ -280,3 +281,43 @@ class ObsView:
 
     def __repr__(self) -> str:
         return f"ObsView(pid={self.pid}, records={len(self.records())})"
+
+
+def channel_summary(
+    records: Iterable[Dict[str, Any]],
+) -> Dict[int, Dict[str, Any]]:
+    """Per-pid covert-channel activity from ``channel.*`` spans.
+
+    Returns ``{pid: {role, cells, total_ns, mean_cell_ns}}`` where
+    ``role`` is ``"tx"`` or ``"rx"`` (from the span name's
+    ``tx_cell``/``rx_cell`` suffix) and the durations come from each
+    span's ``end_ns - start_ns``.  The defender's eviction-free view of
+    who is signalling: a sender's per-cell cost is the channel's
+    footprint, a receiver's cell count times mean duration bounds how
+    fast it can possibly sample.
+    """
+    summary: Dict[int, Dict[str, Any]] = {}
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        name = record.get("name", "")
+        if not name.startswith("channel."):
+            continue
+        start, end = record.get("start_ns"), record.get("end_ns")
+        if start is None or end is None:
+            continue
+        pid = record.get("pid", UNATTRIBUTED)
+        entry = summary.get(pid)
+        if entry is None:
+            summary[pid] = entry = {
+                "role": "rx" if name.endswith("rx_cell") else "tx",
+                "cells": 0,
+                "total_ns": 0,
+            }
+        entry["cells"] += 1
+        entry["total_ns"] += int(end) - int(start)
+    for entry in summary.values():
+        entry["mean_cell_ns"] = (
+            entry["total_ns"] / entry["cells"] if entry["cells"] else 0.0
+        )
+    return summary

@@ -39,6 +39,7 @@ from repro.sim.errors import (
     is_transient,
 )
 from repro.sim.inject import (
+    NOISE_DOMAINS,
     FaultInjector,
     InjectionConfig,
     InterferenceSpec,
@@ -79,6 +80,7 @@ __all__ = [
     "LatencyNoise",
     "TransientFaults",
     "noise_profile",
+    "NOISE_DOMAINS",
     "NANOS",
     "MICROS",
     "MILLIS",

@@ -102,12 +102,24 @@ class StepBoundary:
     kernel's standard "must yield Syscall" TypeError — which is why
     ``ICL(step_markers=...)`` defaults to off and the sequential drive
     loops stay valid unmodified.
+
+    A boundary may carry a ``tag`` — any hashable label.  Tagged
+    boundaries park exactly like :data:`STEP`, but the shell records
+    ``(tag, simulated now)`` in the client's :attr:`ArenaClient.step_log`
+    before parking.  The log is host-side bookkeeping only (nothing is
+    emitted to ``obs``, no simulated time passes), so tagged and untagged
+    runs produce byte-identical obs streams; the covert-channel harness
+    uses it to align sender and receiver turns cell by cell without
+    perturbing the timing channel it is measuring.
     """
 
-    __slots__ = ()
+    __slots__ = ("tag",)
+
+    def __init__(self, tag: Any = None) -> None:
+        self.tag = tag
 
     def __repr__(self) -> str:
-        return "STEP"
+        return "STEP" if self.tag is None else f"STEP({self.tag!r})"
 
 
 #: The shared marker instance ``ICL.checkpoint`` yields.
@@ -154,6 +166,7 @@ class ArenaClient:
         "cpu_ns",
         "blocked_ns",
         "finished_ns",
+        "step_log",
     )
 
     def __init__(
@@ -185,6 +198,10 @@ class ArenaClient:
         self.cpu_ns = 0
         self.blocked_ns = 0
         self.finished_ns = 0
+        #: ``(tag, simulated now)`` per tagged step boundary, in park
+        #: order — the slice-alignment primitive for sender/receiver
+        #: protocols (see :class:`StepBoundary`).
+        self.step_log: List[Tuple[Any, int]] = []
 
     def __repr__(self) -> str:
         state = "done" if self.done else f"turns={self.turns}"
@@ -381,6 +398,8 @@ class Arena:
             except StopIteration as stop:
                 return stop.value
             if isinstance(item, StepBoundary):
+                if item.tag is not None:
+                    client.step_log.append((item.tag, self.kernel.clock.now))
                 send = None
                 since_park = 0
                 client.parks += 1

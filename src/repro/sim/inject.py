@@ -51,7 +51,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.sim.clock import MICROS, MILLIS, SECONDS
 from repro.sim.dispatch import BLOCK, Handler, SyscallTable
@@ -67,6 +67,8 @@ __all__ = [
     "InjectionConfig",
     "FaultInjector",
     "noise_profile",
+    "interference_bodies",
+    "NOISE_DOMAINS",
     "PROBE_SYSCALLS",
     "DEFAULT_FAULT_SYSCALLS",
 ]
@@ -281,7 +283,15 @@ class InjectionConfig:
         )
 
 
-def noise_profile(level: float, seed: int = 0) -> InjectionConfig:
+#: The injector families :func:`noise_profile` can switch independently.
+NOISE_DOMAINS = ("latency", "faults", "sched", "background")
+
+
+def noise_profile(
+    level: float,
+    seed: int = 0,
+    domains: Optional[Sequence[str]] = None,
+) -> InjectionConfig:
     """The standard noise ladder used by the robustness sweep.
 
     ``level`` in [0, 1] scales every injector together: probe jitter and
@@ -291,40 +301,62 @@ def noise_profile(level: float, seed: int = 0) -> InjectionConfig:
     noise budget for the hardened ICLs (see EXPERIMENTS.md) is level
     0.5 — the point where this profile injects ~5% probe spikes at disk
     scale plus ~5% transient faults.
+
+    ``domains`` restricts the ladder to a subset of
+    :data:`NOISE_DOMAINS` (``latency``, ``faults``, ``sched``,
+    ``background``); ``None`` keeps every family.  A filtered profile is
+    how an ablation attributes an accuracy or channel-capacity loss to
+    one knob: the surviving families draw from the same per-family
+    streams they would in the full profile, so e.g. the fault schedule
+    of a faults-only run is byte-identical to the full run's.
     """
     if not 0.0 <= level <= 1.0:
         raise ValueError("noise level must be in [0, 1]")
+    if domains is None:
+        selected = frozenset(NOISE_DOMAINS)
+    else:
+        selected = frozenset(domains)
+        unknown = selected - frozenset(NOISE_DOMAINS)
+        if unknown:
+            raise ValueError(
+                f"unknown noise domain(s): {', '.join(sorted(unknown))}"
+                f" (choose from {', '.join(NOISE_DOMAINS)})"
+            )
     if level == 0.0:
         return InjectionConfig(seed=seed)
     interference: Tuple[InterferenceSpec, ...] = ()
-    if level >= 0.3:
+    if "background" in selected and level >= 0.3:
         interference = (
             InterferenceSpec("cache_dirtier", intensity=level),
             InterferenceSpec("cpu_hog", intensity=level),
         )
-    if level >= 0.7:
-        interference += (
-            InterferenceSpec("memory_hog", intensity=level),
-            InterferenceSpec("dir_ager", intensity=level),
-        )
-    return InjectionConfig(
-        seed=seed,
-        latency=LatencyNoise(
+        if level >= 0.7:
+            interference += (
+                InterferenceSpec("memory_hog", intensity=level),
+                InterferenceSpec("dir_ager", intensity=level),
+            )
+    latency = touch_latency = None
+    if "latency" in selected:
+        latency = LatencyNoise(
             jitter_ns=int(20 * MICROS * level),
             spike_prob=0.10 * level,
             spike_ns=8 * MILLIS,
             granularity_ns=int(10 * MICROS * level),
-        ),
+        )
         # Page touches see interference per scheduling quantum, not per
         # 150 ns store: spikes are ~200x rarer and interrupt-scale, and
         # quantization would swamp the touch signal entirely.
-        touch_latency=LatencyNoise(
+        touch_latency = LatencyNoise(
             jitter_ns=int(100 * level),
             spike_prob=0.0005 * level,
             spike_ns=400 * MICROS,
-        ),
-        faults=TransientFaults(fail_prob=0.10 * level),
-        sched_jitter_ns=int(50 * MICROS * level),
+        )
+    return InjectionConfig(
+        seed=seed,
+        latency=latency,
+        touch_latency=touch_latency,
+        faults=TransientFaults(fail_prob=0.10 * level) if "faults" in selected else None,
+        sched_jitter_ns=int(50 * MICROS * level) if "sched" in selected else 0,
         interference=interference,
     )
 
@@ -682,6 +714,34 @@ _INTERFERENCE_FACTORIES = {
     "memory_hog": _memory_hog,
     "dir_ager": _dir_ager,
 }
+
+def interference_bodies(
+    config: InjectionConfig, horizon_ns: int, mount: str = "mnt0"
+) -> List[Tuple[str, Generator]]:
+    """The config's interference processes as ``(name, generator)`` pairs.
+
+    :meth:`FaultInjector.spawn_interference` spawns these free-running
+    beside a ``kernel.run()`` workload; an arena caller instead wants to
+    *interleave* them as quantum-parked clients (a free-running sleeper
+    would burn its whole horizon inside the first slice, because
+    ``run_until_blocked`` advances the clock to future-ready processes).
+    Same bodies, same ``(seed, kind, index)`` derivation, caller's
+    choice of drive.
+    """
+    bodies: List[Tuple[str, Generator]] = []
+    for index, spec in enumerate(config.interference):
+        seed = _splitmix64(
+            _fnv1a(f"interference/{spec.kind}/{index}", config.seed & _MASK64)
+        )
+        factory = _INTERFERENCE_FACTORIES[spec.kind]
+        bodies.append(
+            (
+                f"inject-{spec.kind}{index}",
+                factory(spec, seed, horizon_ns, f"/{mount}"),
+            )
+        )
+    return bodies
+
 
 # Re-exported convenience: the horizon helper most callers want.
 def horizon_after(kernel: Any, ns: int = 2 * SECONDS) -> int:

@@ -28,6 +28,8 @@ class TestCli:
             "ablation-probe-placement", "ablation-threshold",
             "ablation-mac-increment", "ablation-refresh-policy",
             "extension-lfs", "robustness",
+            "robustness-latency", "robustness-faults",
+            "robustness-sched", "robustness-background",
         }
         assert set(EXPERIMENTS) == expected
 

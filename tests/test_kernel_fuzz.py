@@ -686,3 +686,42 @@ def test_chaos_attribution_invariants(seeds, steps):
     #    double-counted.
     buckets = split_by_pid(records)
     assert sum(len(b) for b in buckets.values()) == len(records)
+
+
+# ======================================================================
+# Covert-channel differential modes
+# ======================================================================
+def test_differential_channels_noisy_replay():
+    """Same (seed, config) ⇒ identical decoded bits and obs digest.
+
+    The covert-channel harness stacks every determinism-sensitive layer
+    at once — arena interleaving, tagged step boundaries, the injector's
+    full noise ladder (including interference tenants), and the framing
+    codec — so a byte-identical replay here pins all of them together.
+    """
+    from repro.experiments.channels import run_channel
+
+    for channel in ("residency", "writeback"):
+        first = run_channel(channel, noise=0.5, n_bits=24)
+        second = run_channel(channel, noise=0.5, n_bits=24)
+        assert first.decoded_bits == second.decoded_bits, channel
+        assert first.digest == second.digest, channel
+        assert first.latencies == second.latencies, channel
+        assert first.frame_span_ns == second.frame_span_ns, channel
+
+
+def test_differential_channels_numpy_vs_scalar():
+    """Twin kernels, vectorized vs scalar paths, decode the same frame.
+
+    Simulated behaviour must not depend on the implementation mode:
+    the receiver's latency trace, the decoded bitstring, and the
+    attributed obs stream must match bit for bit.
+    """
+    from repro.experiments.channels import run_channel
+
+    for channel in ("residency", "writeback"):
+        vec = run_channel(channel, noise=0.5, n_bits=24, numpy_paths=True)
+        scalar = run_channel(channel, noise=0.5, n_bits=24, numpy_paths=False)
+        assert vec.latencies == scalar.latencies, channel
+        assert vec.decoded_bits == scalar.decoded_bits, channel
+        assert vec.digest == scalar.digest, channel
